@@ -1,0 +1,38 @@
+package sbgt
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/latticeio"
+)
+
+// SaveModel checkpoints a lattice model to w: risks, response model, test
+// counter, and the full posterior, in a versioned binary format. Custom
+// Response implementations (not constructed by this package) must be
+// registered with encoding/gob before saving.
+func SaveModel(w io.Writer, m *Model) error {
+	return latticeio.Save(w, m)
+}
+
+// LoadModel restores a checkpointed model onto the engine. The posterior
+// is validated and renormalized; corrupt or truncated checkpoints are
+// rejected.
+func (e *Engine) LoadModel(r io.Reader) (*Model, error) {
+	return latticeio.Load(r, e.pool, 0)
+}
+
+// SaveSession checkpoints a surveillance session mid-campaign (or after
+// completion): classifications, counters, the test log, and the live
+// posterior. Use (*Engine).LoadSession to resume.
+func SaveSession(w io.Writer, s *Session) error {
+	return s.SaveSession(w)
+}
+
+// LoadSession resumes a checkpointed session on the engine. strategy
+// supplies the selection policy for the resumed campaign (nil = the
+// default halving strategy); strategies are deliberately not serialized,
+// so an operator may change policy across a restart.
+func (e *Engine) LoadSession(r io.Reader, strategy Strategy) (*Session, error) {
+	return core.LoadSession(r, e.pool, strategy)
+}

@@ -1,0 +1,36 @@
+package sbgt
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ClusterModel is a lattice posterior distributed across TCP executor
+// processes — the Spark-cluster analogue. It supports the same update /
+// marginal / selection-scan operations as the in-process Model; every
+// method reports transport errors explicitly.
+type ClusterModel = cluster.Model
+
+// DialCluster connects to running executors (see ServeExecutor or
+// cmd/sbgt-exec), shards the lattice across them, and materializes the
+// prior remotely.
+func DialCluster(addrs []string, risks []float64, resp Response, timeout time.Duration) (*ClusterModel, error) {
+	return cluster.Dial(addrs, risks, resp, timeout)
+}
+
+// ServeExecutor runs a lattice executor on addr until it is told to shut
+// down. It is the library form of cmd/sbgt-exec, handy for tests and
+// single-binary deployments.
+func ServeExecutor(addr string, workers int) error {
+	return cluster.ListenAndServe(addr, workers)
+}
+
+// ServeExecutorOn serves a lattice executor on an already-open listener,
+// for callers that manage ports themselves (in-process clusters, tests).
+func ServeExecutorOn(l net.Listener, workers int) error {
+	e := cluster.NewExecutor(workers)
+	defer e.Close()
+	return e.Serve(l)
+}

@@ -1,0 +1,156 @@
+// Command sbgt-bench regenerates every evaluation artifact of the
+// reproduction: the three speedup tables (T1 lattice ops, T2 test
+// selection, T3 statistical analyses), the scaling and accuracy figures
+// (F1–F6), and the design ablations (A1–A3). See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	sbgt-bench -exp all            # everything (minutes)
+//	sbgt-bench -exp T1,T2 -quick   # subset at reduced sizes
+//	sbgt-bench -list               # show the experiment registry
+//
+// Flags:
+//
+//	-exp string   comma-separated experiment ids, or "all" (default "all")
+//	-quick        reduced problem sizes for smoke runs
+//	-csv          also emit each table as CSV after the aligned form
+//	-workers int  engine workers (0 = GOMAXPROCS)
+//	-seed uint    root seed for every randomized experiment (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// experiment is one runnable evaluation artifact.
+type experiment struct {
+	id    string
+	title string
+	run   func(c *ctx) error
+}
+
+// ctx carries shared experiment configuration.
+type ctx struct {
+	quick   bool
+	csv     bool
+	workers int
+	seed    uint64
+	out     *os.File
+}
+
+// emit prints a finished table (and optionally its CSV form).
+func (c *ctx) emit(t *bench.Table) error {
+	if _, err := t.WriteTo(c.out); err != nil {
+		return err
+	}
+	fmt.Fprintln(c.out)
+	if c.csv {
+		if err := t.WriteCSV(c.out); err != nil {
+			return err
+		}
+		fmt.Fprintln(c.out)
+	}
+	return nil
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"T1", "lattice-model manipulation speedup (SBGT vs serial baseline)", runT1},
+		{"T2", "test-selection speedup (halving scan, SBGT vs serial baseline)", runT2},
+		{"T3", "statistical-analysis speedup (Monte-Carlo study, parallel vs serial)", runT3},
+		{"F1", "strong scaling of the update kernel (speedup & efficiency vs workers)", runF1},
+		{"F2", "weak scaling of the update kernel (fixed states/worker)", runF2},
+		{"F3", "surveillance operating characteristics vs prevalence", runF3},
+		{"F4", "posterior-entropy convergence by selection strategy", runF4},
+		{"F5", "look-ahead: stages vs tests trade-off", runF5},
+		{"F6", "distributed (TCP executor) lattice kernels", runF6},
+		{"F7", "population-scale campaign (cohort composition)", runF7},
+		{"A1", "ablation: partition granularity", runA1},
+		{"A2", "ablation: fused vs two-pass update", runA2},
+		{"A3", "ablation: halving candidate set (prefix vs +local-search)", runA3},
+		{"A4", "ablation: cohort assignment (sorted vs contiguous binning)", runA4},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sbgt-bench: ")
+	var (
+		expFlag = flag.String("exp", "all", `experiment ids, comma-separated, or "all"`)
+		quick   = flag.Bool("quick", false, "reduced problem sizes")
+		csv     = flag.Bool("csv", false, "also emit CSV")
+		workers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 1, "root seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	exps := registry()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		known := map[string]bool{}
+		for _, e := range exps {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range want {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			log.Fatalf("unknown experiment(s): %s (use -list)", strings.Join(unknown, ", "))
+		}
+	}
+
+	c := &ctx{quick: *quick, csv: *csv, workers: *workers, seed: *seed, out: os.Stdout}
+	if c.workers <= 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("sbgt-bench: %d workers, quick=%v, seed=%d\n\n", c.workers, c.quick, c.seed)
+	for _, e := range exps {
+		if *expFlag != "all" && !want[e.id] {
+			continue
+		}
+		fmt.Printf("### %s: %s\n", e.id, e.title)
+		if err := e.run(c); err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+	}
+}
+
+// sizes returns the lattice-size sweep for the speedup tables.
+func (c *ctx) sizes() []int {
+	if c.quick {
+		return []int{12, 14, 16}
+	}
+	return []int{12, 14, 16, 18, 20}
+}
+
+// reps returns measurement repetitions.
+func (c *ctx) reps() int {
+	if c.quick {
+		return 2
+	}
+	return 3
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/program"
+	"repro/internal/rng"
+)
+
+// runF7 shows population scale-out: cohort-sized sessions compose linearly,
+// so tests/subject stays flat while population grows.
+func runF7(c *ctx) error {
+	pool := engine.NewPool(c.workers)
+	defer pool.Close()
+	sizes := []int{64, 128, 256, 512}
+	if c.quick {
+		sizes = []int{48, 96}
+	}
+	tab := bench.NewTable("F7: population campaigns (cohort size 16, 5% prevalence)",
+		"population", "cohorts", "tests", "tests/subj", "accuracy", "wall")
+	for _, n := range sizes {
+		risks := make([]float64, n)
+		for i := range risks {
+			risks[i] = 0.05
+		}
+		r := rng.New(c.seed)
+		popu := program.DrawPopulation(risks, r)
+		oracle := program.NewOracle(popu, benchResponse, r)
+		var res *program.Result
+		t := bench.Measure(1, 0, func() {
+			var err error
+			res, err = program.Run(pool, program.Config{
+				Risks:    risks,
+				Response: benchResponse,
+				MaxPool:  12,
+			}, oracle.Test)
+			if err != nil {
+				panic(err)
+			}
+		})
+		correct := 0
+		for g, call := range res.Classifications {
+			if (call.Status == core.StatusPositive) == popu.Infected[g] {
+				correct++
+			}
+		}
+		tab.AddRow(n, res.Cohorts, res.Tests, res.TestsPerSubject(),
+			fmt.Sprintf("%.4f", float64(correct)/float64(n)), t.Mean)
+	}
+	return c.emit(tab)
+}
+
+// runA4 is the binning ablation: with adaptive selection, sorted and
+// contiguous assignment should land within noise of each other on cost —
+// the measured counterpoint to classical (non-adaptive) pooling folklore.
+func runA4(c *ctx) error {
+	pool := engine.NewPool(c.workers)
+	defer pool.Close()
+	n, reps := 96, 6
+	if c.quick {
+		n, reps = 48, 3
+	}
+	// Skewed risk: 1-in-8 at 30%, the rest at 1%.
+	risks := make([]float64, n)
+	for i := range risks {
+		if i%8 == 0 {
+			risks[i] = 0.3
+		} else {
+			risks[i] = 0.01
+		}
+	}
+	tab := bench.NewTable(fmt.Sprintf("A4: cohort assignment under skewed risk, n=%d, %d reps", n, reps),
+		"assignment", "tests", "tests/subj", "max stages", "accuracy")
+	for _, mode := range []program.Assignment{program.AssignSorted, program.AssignContiguous} {
+		var tests, correct, maxStages int
+		for rep := 0; rep < reps; rep++ {
+			r := rng.New(c.seed + uint64(rep))
+			popu := program.DrawPopulation(risks, r)
+			oracle := program.NewOracle(popu, benchResponse, r)
+			res, err := program.Run(pool, program.Config{
+				Risks:      risks,
+				Response:   benchResponse,
+				Assignment: mode,
+				MaxPool:    12,
+			}, oracle.Test)
+			if err != nil {
+				return err
+			}
+			tests += res.Tests
+			if res.MaxStages > maxStages {
+				maxStages = res.MaxStages
+			}
+			for g, call := range res.Classifications {
+				if (call.Status == core.StatusPositive) == popu.Infected[g] {
+					correct++
+				}
+			}
+		}
+		tab.AddRow(mode.String(), tests, float64(tests)/float64(n*reps), maxStages,
+			fmt.Sprintf("%.4f", float64(correct)/float64(n*reps)))
+	}
+	return c.emit(tab)
+}

@@ -1,0 +1,119 @@
+// Command sbgt-calc is the pooling-design calculator: given a prevalence
+// and an assay model it compares individual testing, the optimal Dorfman
+// two-stage design, and the adaptive Bayesian-halving programme, and
+// prints guidance on when and how to pool — the CLI analogue of the
+// web-based calculator introduced alongside the Bayesian group-testing
+// methodology.
+//
+// Usage:
+//
+//	sbgt-calc -prev 0.02 -assay hyperbolic -maxpool 16
+//
+// Flags:
+//
+//	-prev float    population prevalence (required to be in (0,1); default 0.02)
+//	-assay string  ideal | binary | hyperbolic | logistic | ct (default binary)
+//	-maxpool int   largest pool the lab can run (default 32)
+//	-cohort int    lattice size for the halving estimate (default 16)
+//	-reps int      Monte-Carlo replicates for the halving estimate (default 48)
+//	-lookahead int pools per stage for the halving programme (default 1)
+//	-seed uint     Monte-Carlo seed (default 1)
+//	-sweep         print a prevalence sweep instead of one row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/calculator"
+	"repro/internal/dilution"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sbgt-calc: ")
+	var (
+		prev      = flag.Float64("prev", 0.02, "population prevalence")
+		assay     = flag.String("assay", "binary", "ideal | binary | hyperbolic | logistic | ct")
+		maxPool   = flag.Int("maxpool", 32, "largest pool the lab can run")
+		cohort    = flag.Int("cohort", 16, "lattice size for the halving estimate")
+		reps      = flag.Int("reps", 48, "Monte-Carlo replicates")
+		lookahead = flag.Int("lookahead", 1, "pools per stage")
+		seed      = flag.Uint64("seed", 1, "Monte-Carlo seed")
+		sweep     = flag.Bool("sweep", false, "print a prevalence sweep")
+	)
+	flag.Parse()
+
+	resp, err := makeResponse(*assay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hp := calculator.HalvingParams{
+		Cohort:     *cohort,
+		MaxPool:    *maxPool,
+		Lookahead:  *lookahead,
+		Replicates: *reps,
+		Seed:       *seed,
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "prevalence\tdesign\ttests/subj\tstages\tsens\tspec\tbasis")
+	prevs := []float64{*prev}
+	if *sweep {
+		prevs = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+	}
+	for _, p := range prevs {
+		designs, err := calculator.Compare(p, resp, hp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range designs {
+			basis := "monte-carlo"
+			if d.Exact {
+				basis = "exact"
+			}
+			fmt.Fprintf(w, "%.3f\t%s\t%.4f\t%.2f\t%.4f\t%.4f\t%s\n",
+				p, d.Name, d.TestsPerSubject, d.Stages, d.Sens, d.Spec, basis)
+		}
+	}
+	w.Flush()
+
+	if !*sweep {
+		designs, _ := calculator.Compare(*prev, resp, hp)
+		best := calculator.Recommend(designs)
+		fmt.Printf("\nrecommendation at prevalence %.3f with %s assay: %s\n", *prev, resp.Name(), best.Name)
+		fmt.Println("(cheapest design whose sensitivity reaches 90% of individual testing's)")
+		for _, d := range designs {
+			if d.Sens < 0.9*designs[0].Sens {
+				fmt.Printf("caution: %s is cheap but would miss %.0f%% of infections — dilution dominates it.\n",
+					d.Name, 100*(1-d.Sens))
+			}
+		}
+		switch {
+		case best.Name == "individual":
+			fmt.Println("pooling does not pay here — prevalence is too high or the assay too weak.")
+		case best.Stages > 2.5:
+			fmt.Printf("note the stage cost: %.1f sequential lab round-trips per cohort on average.\n", best.Stages)
+		}
+	}
+}
+
+func makeResponse(assay string) (dilution.Response, error) {
+	switch assay {
+	case "ideal":
+		return dilution.Ideal{}, nil
+	case "binary":
+		return dilution.Binary{Sens: 0.95, Spec: 0.99}, nil
+	case "hyperbolic":
+		return dilution.Hyperbolic{MaxSens: 0.98, Spec: 0.995, D: 0.25}, nil
+	case "logistic":
+		return dilution.Logistic{MaxSens: 0.98, Spec: 0.995, Alpha: 4, Beta: 1.5}, nil
+	case "ct":
+		return dilution.DefaultCt(), nil
+	default:
+		return nil, fmt.Errorf("unknown assay %q", assay)
+	}
+}

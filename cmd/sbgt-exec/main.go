@@ -1,0 +1,32 @@
+// Command sbgt-exec runs one lattice executor: it owns a shard of the
+// distributed posterior and serves kernel requests from an sbgt driver
+// (sbgt.DialCluster or cmd/sbgt-bench -exp F6) until told to shut down.
+//
+// Usage:
+//
+//	sbgt-exec -listen 127.0.0.1:7070 -workers 4
+//
+// Start one process per node (or per NUMA domain), then hand the list of
+// addresses to the driver. The executor is stateless between drivers: a
+// new driver connection rebuilds the shard with BuildPrior.
+package main
+
+import (
+	"flag"
+	"log"
+
+	sbgt "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sbgt-exec: ")
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7070", "address to serve on")
+		workers = flag.Int("workers", 0, "local workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := sbgt.ServeExecutor(*listen, *workers); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Population campaign: screen 480 people in one call.
+//
+// A single lattice session handles at most 30 subjects, so population
+// screening runs many cohort-sized Bayesian sessions. Engine.RunCampaign
+// does the whole pipeline — risk-aware binning, one session per cohort
+// fanned out across workers, global aggregation — and this example drives
+// it over a synthetic city district with three risk tiers.
+//
+//	go run ./examples/population
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sbgt "repro"
+)
+
+func main() {
+	eng := sbgt.NewEngine(0)
+	defer eng.Close()
+
+	// A district of 480 residents: routine screening (1%), an exposed
+	// workplace (8%), and symptomatic clinic walk-ins (30%).
+	var risks []float64
+	for i := 0; i < 400; i++ {
+		risks = append(risks, 0.01)
+	}
+	for i := 0; i < 60; i++ {
+		risks = append(risks, 0.08)
+	}
+	for i := 0; i < 20; i++ {
+		risks = append(risks, 0.30)
+	}
+
+	assay := sbgt.BinaryTest(0.97, 0.995)
+	r := sbgt.NewRand(99)
+	popu := sbgt.DrawLargePopulation(risks, r)
+	oracle := sbgt.NewLargeOracle(popu, assay, r)
+	fmt.Printf("district of %d residents, %d truly infected\n", len(risks), popu.Count())
+
+	res, err := eng.RunCampaign(sbgt.CampaignConfig{
+		Risks:      risks,
+		Response:   assay,
+		CohortSize: 16,
+		Assignment: sbgt.AssignSorted, // bin similar risks together
+		MaxPool:    12,
+	}, oracle.Test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	correct := 0
+	var missed, spurious []int
+	for g, call := range res.Classifications {
+		positive := call.Status == sbgt.StatusPositive
+		switch {
+		case positive == popu.Infected[g]:
+			correct++
+		case popu.Infected[g]:
+			missed = append(missed, g)
+		default:
+			spurious = append(spurious, g)
+		}
+	}
+	fmt.Printf("campaign: %d cohorts, %d tests (%.3f per resident), critical path %d lab rounds\n",
+		res.Cohorts, res.Tests, res.TestsPerSubject(), res.MaxStages)
+	fmt.Printf("found %d positives: %v\n", len(res.Positives()), res.Positives())
+	fmt.Printf("accuracy %d/%d", correct, len(risks))
+	if len(missed)+len(spurious) > 0 {
+		fmt.Printf(" (missed %v, spurious %v)", missed, spurious)
+	}
+	fmt.Println()
+	fmt.Printf("individual testing would have taken %d tests; pooling saved %.0f%%\n",
+		len(risks), 100*(1-res.TestsPerSubject()))
+}

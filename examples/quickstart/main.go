@@ -1,0 +1,62 @@
+// Quickstart: classify a 12-person cohort with pooled testing.
+//
+// This example walks the whole public-API surface in ~40 lines: build an
+// engine, describe the cohort and the assay, run the adaptive campaign
+// against a simulated lab, and read the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sbgt "repro"
+)
+
+func main() {
+	// One engine per process; it owns the worker pool the Bayesian
+	// lattice kernels run on.
+	eng := sbgt.NewEngine(0) // 0 = one worker per CPU
+	defer eng.Close()
+
+	// A cohort of 12 subjects, each with 5% prior infection risk, tested
+	// with a noisy assay whose sensitivity decays with pool dilution.
+	risks := sbgt.UniformRisks(12, 0.05)
+	assay := sbgt.HyperbolicDilutionTest(0.98, 0.995, 0.25)
+
+	// Simulate a ground truth and a laboratory. In production you would
+	// replace oracle.Test with your LIMS integration.
+	r := sbgt.NewRand(21)
+	population := sbgt.DrawPopulation(risks, r)
+	oracle := sbgt.NewOracle(population, assay, r)
+	fmt.Printf("hidden truth: %v (%d infected)\n", population.Truth, population.Infected())
+
+	// The session runs the select → test → update → classify loop with
+	// the Bayesian Halving Algorithm until everyone is classified.
+	sess, err := eng.NewSession(sbgt.Config{
+		Risks:    risks,
+		Response: assay,
+		// Cap pools at 6 specimens: with a diluting assay, very large
+		// pools split posterior mass well but are individually weak tests.
+		Strategy: sbgt.HalvingStrategy(6, false),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sess.Run(func(pool sbgt.SubjectSet) sbgt.Outcome {
+		y := oracle.Test(pool)
+		fmt.Printf("  tested pool %v -> %v\n", pool, y)
+		return y
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("classified positives: %v\n", result.Positives())
+	fmt.Printf("used %d tests (%.2f per subject) in %d stages\n",
+		result.Tests, result.TestsPerSubject(), result.Stages)
+	score := sbgt.EvaluateResult(result, population.Truth)
+	fmt.Printf("accuracy %.3f  sensitivity %.3f  specificity %.3f\n",
+		score.Accuracy(), score.Sensitivity(), score.Specificity())
+}

@@ -1,0 +1,245 @@
+// Package baseline is the serial reference implementation of Bayesian
+// lattice group testing, standing in for HiBGT — the predecessor framework
+// SBGT's evaluation compares against.
+//
+// It computes the same posterior as internal/lattice but is engineered the
+// way a pre-SBGT research code is: one flat slice, a likelihood *function
+// call* per state instead of a precomputed table, separate full passes for
+// reweighting and normalization, one pass per subject for marginals, and
+// one pass per candidate pool during selection. Nothing here is parallel.
+//
+// The package serves two purposes: it is the comparison arm for every
+// speedup table (T1–T3), and it cross-validates the engine-backed model —
+// the tests assert both implementations produce the same posterior to
+// floating-point tolerance on randomized scenarios.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+)
+
+// Model is the serial lattice model. It is not safe for concurrent use.
+type Model struct {
+	n     int
+	risks []float64
+	resp  dilution.Response
+	post  []float64
+	tests int
+}
+
+// MaxSubjects mirrors the engine-backed model's bound.
+const MaxSubjects = 30
+
+// New builds the prior product measure serially, state by state, with the
+// O(N)-per-state inner product a straightforward implementation uses.
+func New(risks []float64, resp dilution.Response) (*Model, error) {
+	n := len(risks)
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty cohort")
+	}
+	if n > MaxSubjects {
+		return nil, fmt.Errorf("baseline: cohort size %d exceeds max %d", n, MaxSubjects)
+	}
+	if resp == nil {
+		return nil, fmt.Errorf("baseline: nil response model")
+	}
+	for i, p := range risks {
+		if !(p > 0 && p < 1) {
+			return nil, fmt.Errorf("baseline: risk[%d] = %v outside (0,1)", i, p)
+		}
+	}
+	m := &Model{
+		n:     n,
+		risks: append([]float64(nil), risks...),
+		resp:  resp,
+		post:  make([]float64, uint64(1)<<uint(n)),
+	}
+	for s := range m.post {
+		w := 1.0
+		for i := 0; i < n; i++ {
+			if s&(1<<uint(i)) != 0 {
+				w *= risks[i]
+			} else {
+				w *= 1 - risks[i]
+			}
+		}
+		m.post[s] = w
+	}
+	m.normalize()
+	return m, nil
+}
+
+// N returns the cohort size.
+func (m *Model) N() int { return m.n }
+
+// Tests returns how many outcomes have been absorbed.
+func (m *Model) Tests() int { return m.tests }
+
+// Response returns the test-response model.
+func (m *Model) Response() dilution.Response { return m.resp }
+
+// StateMass returns the posterior mass of one state.
+func (m *Model) StateMass(s bitvec.Mask) float64 { return m.post[uint64(s)] }
+
+func (m *Model) normalize() {
+	var total float64
+	for _, w := range m.post {
+		total += w
+	}
+	if !(total > 0) || math.IsInf(total, 0) {
+		return
+	}
+	inv := 1 / total
+	for i := range m.post {
+		m.post[i] *= inv
+	}
+}
+
+// Update folds one pooled-test outcome into the posterior: a reweight pass
+// calling the response model per state, then a separate normalize pass.
+func (m *Model) Update(pool bitvec.Mask, y dilution.Outcome) error {
+	if pool == 0 {
+		return fmt.Errorf("baseline: empty pool")
+	}
+	if !pool.SubsetOf(bitvec.Full(m.n)) {
+		return fmt.Errorf("baseline: pool %v outside cohort of %d", pool, m.n)
+	}
+	size := pool.Count()
+	pm := uint64(pool)
+	for s := range m.post {
+		k := bits.OnesCount64(uint64(s) & pm)
+		m.post[s] *= m.resp.Likelihood(y, k, size)
+	}
+	var total float64
+	for _, w := range m.post {
+		total += w
+	}
+	if !(total > 0) || math.IsInf(total, 0) {
+		return fmt.Errorf("baseline: outcome %v on pool %v has zero total likelihood", y, pool)
+	}
+	inv := 1 / total
+	for s := range m.post {
+		m.post[s] *= inv
+	}
+	m.tests++
+	return nil
+}
+
+// Marginals computes each subject's posterior infection probability with
+// one full lattice pass per subject.
+func (m *Model) Marginals() []float64 {
+	out := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		bit := uint64(1) << uint(i)
+		var sum float64
+		for s, w := range m.post {
+			if uint64(s)&bit != 0 {
+				sum += w
+			}
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// NegMass returns P(S ∩ pool = ∅ | data) with one lattice pass.
+func (m *Model) NegMass(pool bitvec.Mask) float64 {
+	pm := uint64(pool)
+	var sum float64
+	for s, w := range m.post {
+		if uint64(s)&pm == 0 {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// NegMasses evaluates each candidate with its own full lattice pass —
+// the pre-SBGT selection cost the T2 experiment measures.
+func (m *Model) NegMasses(cands []bitvec.Mask) []float64 {
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		out[i] = m.NegMass(c)
+	}
+	return out
+}
+
+// Entropy returns the posterior entropy in bits.
+func (m *Model) Entropy() float64 {
+	var nats float64
+	for _, p := range m.post {
+		if p > 0 {
+			nats -= p * math.Log(p)
+		}
+	}
+	return nats / math.Ln2
+}
+
+// SelectHalving runs the Bayesian Halving Algorithm serially with the same
+// candidate rule as internal/halving (sub-½ prefix pools plus singletons),
+// so baseline-vs-SBGT selection benchmarks do identical statistical work.
+func (m *Model) SelectHalving(maxPool int) bitvec.Mask {
+	if maxPool <= 0 || maxPool > m.n {
+		maxPool = m.n
+	}
+	marg := m.Marginals()
+	order := make([]int, 0, m.n)
+	for i := range marg {
+		if marg[i] < 0.5 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if marg[order[a]] != marg[order[b]] {
+			return marg[order[a]] > marg[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if len(order) > maxPool {
+		order = order[:maxPool]
+	}
+	seen := make(map[bitvec.Mask]bool)
+	var cands []bitvec.Mask
+	var prefix bitvec.Mask
+	for _, i := range order {
+		prefix = prefix.With(i)
+		if !seen[prefix] {
+			seen[prefix] = true
+			cands = append(cands, prefix)
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		c := bitvec.FromIndices(i)
+		if !seen[c] {
+			seen[c] = true
+			cands = append(cands, c)
+		}
+	}
+	masses := m.NegMasses(cands)
+	best, bestScore := bitvec.Mask(0), math.Inf(1)
+	for i, c := range cands {
+		score := math.Abs(masses[i] - 0.5)
+		if score < bestScore ||
+			(score == bestScore && (c.Count() < best.Count() || (c.Count() == best.Count() && c < best))) {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// Clone returns an independent deep copy.
+func (m *Model) Clone() *Model {
+	return &Model{
+		n:     m.n,
+		risks: append([]float64(nil), m.risks...),
+		resp:  m.resp,
+		post:  append([]float64(nil), m.post...),
+		tests: m.tests,
+	}
+}

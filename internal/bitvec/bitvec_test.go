@@ -1,0 +1,194 @@
+package bitvec
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromIndices(t *testing.T) {
+	m := FromIndices(0, 3, 7)
+	if got, want := uint64(m), uint64(1|8|128); got != want {
+		t.Fatalf("FromIndices(0,3,7) = %#x, want %#x", got, want)
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count = %d, want 3", m.Count())
+	}
+}
+
+func TestFromIndicesEmpty(t *testing.T) {
+	if m := FromIndices(); m != 0 {
+		t.Fatalf("FromIndices() = %v, want empty", m)
+	}
+}
+
+func TestFromIndicesPanicsOutOfRange(t *testing.T) {
+	for _, bad := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromIndices(%d) did not panic", bad)
+				}
+			}()
+			FromIndices(bad)
+		}()
+	}
+}
+
+func TestFull(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Mask
+	}{
+		{0, 0},
+		{1, 1},
+		{4, 0xf},
+		{63, Mask(1)<<63 - 1},
+		{64, ^Mask(0)},
+	}
+	for _, c := range cases {
+		if got := Full(c.n); got != c.want {
+			t.Errorf("Full(%d) = %#x, want %#x", c.n, uint64(got), uint64(c.want))
+		}
+		if got := Full(c.n).Count(); got != c.n {
+			t.Errorf("Full(%d).Count() = %d, want %d", c.n, got, c.n)
+		}
+	}
+}
+
+func TestFullPanics(t *testing.T) {
+	for _, bad := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Full(%d) did not panic", bad)
+				}
+			}()
+			Full(bad)
+		}()
+	}
+}
+
+func TestHasWithWithout(t *testing.T) {
+	var m Mask
+	m = m.With(5)
+	if !m.Has(5) {
+		t.Fatal("Has(5) after With(5) = false")
+	}
+	if m.Has(4) {
+		t.Fatal("Has(4) = true, want false")
+	}
+	m = m.Without(5)
+	if m != 0 {
+		t.Fatalf("Without(5) left %v", m)
+	}
+	// Without on an absent subject is a no-op.
+	if got := FromIndices(1).Without(2); got != FromIndices(1) {
+		t.Errorf("Without(absent) changed mask: %v", got)
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	state := FromIndices(0, 1, 4)
+	pool := FromIndices(1, 2, 4, 5)
+	if got := state.IntersectCount(pool); got != 2 {
+		t.Errorf("IntersectCount = %d, want 2", got)
+	}
+	if got := state.IntersectCount(0); got != 0 {
+		t.Errorf("IntersectCount with empty pool = %d, want 0", got)
+	}
+}
+
+func TestOrderAndLatticeOps(t *testing.T) {
+	a := FromIndices(0, 2)
+	b := FromIndices(0, 1, 2, 5)
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a not expected")
+	}
+	if got := a.Meet(b); got != a {
+		t.Errorf("Meet = %v, want %v", got, a)
+	}
+	if got := a.Join(b); got != b {
+		t.Errorf("Join = %v, want %v", got, b)
+	}
+	if !a.Disjoint(FromIndices(3, 4)) {
+		t.Error("Disjoint expected")
+	}
+	if a.Disjoint(b) {
+		t.Error("not Disjoint expected")
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		m := Mask(v)
+		return FromIndices(m.Indices()...) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowestHighest(t *testing.T) {
+	if got := Mask(0).Lowest(); got != -1 {
+		t.Errorf("Lowest(empty) = %d", got)
+	}
+	if got := Mask(0).Highest(); got != -1 {
+		t.Errorf("Highest(empty) = %d", got)
+	}
+	m := FromIndices(3, 17, 41)
+	if got := m.Lowest(); got != 3 {
+		t.Errorf("Lowest = %d, want 3", got)
+	}
+	if got := m.Highest(); got != 41 {
+		t.Errorf("Highest = %d, want 41", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(0, 3, 7).String(); got != "{0,3,7}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Mask(0).String(); got != "{}" {
+		t.Errorf("String(empty) = %q", got)
+	}
+}
+
+// --- Lattice laws as properties -------------------------------------------
+
+func TestMeetJoinLaws(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		a, b, c := Mask(x), Mask(y), Mask(z)
+		commut := a.Meet(b) == b.Meet(a) && a.Join(b) == b.Join(a)
+		assoc := a.Meet(b.Meet(c)) == a.Meet(b).Meet(c) &&
+			a.Join(b.Join(c)) == a.Join(b).Join(c)
+		absorb := a.Meet(a.Join(b)) == a && a.Join(a.Meet(b)) == a
+		idem := a.Meet(a) == a && a.Join(a) == a
+		return commut && assoc && absorb && idem
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetOfConsistentWithMeet(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Mask(x), Mask(y)
+		return a.SubsetOf(b) == (a.Meet(b) == a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectCountMatchesPopcount(t *testing.T) {
+	f := func(x, y uint64) bool {
+		return Mask(x).IntersectCount(Mask(y)) == bits.OnesCount64(x&y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package bitvec
+
+// Subsets calls fn for every subset of ground (including the empty set and
+// ground itself), in an order that visits each subset exactly once. The
+// standard sub-mask enumeration trick walks the 2^|ground| subsets in
+// decreasing mask order followed by the empty set. It stops early if fn
+// returns false.
+func Subsets(ground Mask, fn func(Mask) bool) {
+	for s := ground; ; s = (s - 1) & ground {
+		if !fn(s) {
+			return
+		}
+		if s == 0 {
+			return
+		}
+	}
+}
+
+// GrayStates calls fn(index, state, flippedBit) for every state of an
+// n-subject lattice in binary-reflected Gray order: consecutive states differ
+// in exactly one subject, whose index is passed as flippedBit (-1 for the
+// first call, which visits the empty state). Gray order lets incremental
+// algorithms update popcount-dependent quantities in O(1) per state. It
+// panics when n is outside [0, 30]; full enumerations beyond 2^30 states are
+// a programming error at this scale.
+func GrayStates(n int, fn func(index uint64, state Mask, flipped int) bool) {
+	if n < 0 || n > 30 {
+		panic("bitvec: GrayStates supports 0 <= n <= 30")
+	}
+	total := uint64(1) << uint(n)
+	var state Mask
+	if !fn(0, 0, -1) {
+		return
+	}
+	for i := uint64(1); i < total; i++ {
+		// The bit flipped between gray(i-1) and gray(i) is the lowest set
+		// bit of i.
+		flip := trailingZeros(i)
+		state ^= 1 << uint(flip)
+		if !fn(i, state, flip) {
+			return
+		}
+	}
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// StateOf returns the lattice state visited at position i of the Gray walk,
+// i.e. the binary-reflected Gray code of i.
+func StateOf(i uint64) Mask { return Mask(i ^ (i >> 1)) }
+
+// IndexOf inverts StateOf: it returns the Gray-walk position of state s.
+func IndexOf(s Mask) uint64 {
+	v := uint64(s)
+	for shift := uint(1); shift < 64; shift <<= 1 {
+		v ^= v >> shift
+	}
+	return v
+}

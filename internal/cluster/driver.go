@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/bits"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/prob"
+)
+
+// conn is one executor connection with its shard assignment.
+type conn struct {
+	addr   string
+	nc     net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	lo, hi uint64
+}
+
+// call sends one request and waits for its response.
+func (c *conn) call(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("cluster: send %s to %s: %w", req.Op, c.addr, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("cluster: recv %s from %s: %w", req.Op, c.addr, err)
+	}
+	if resp.Err != "" {
+		return Response{}, fmt.Errorf("cluster: executor %s: %s: %s", c.addr, req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// Model is the driver-side distributed lattice model. It mirrors the
+// relevant subset of lattice.Model's API; every method fans out to all
+// executors and merges partials in executor-rank order.
+//
+// A Model is not safe for concurrent use (like its local counterpart).
+type Model struct {
+	conns []*conn
+	n     int
+	resp  dilution.Response
+	tests int
+}
+
+// Dial connects to the executors, shards the lattice across them
+// proportionally to their order, and materializes the prior product
+// measure remotely. The model is normalized before Dial returns.
+func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.Duration) (*Model, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no executors")
+	}
+	n := len(risks)
+	if n == 0 || n > 30 {
+		return nil, fmt.Errorf("cluster: cohort size %d outside [1,30]", n)
+	}
+	if resp == nil {
+		return nil, fmt.Errorf("cluster: nil response model")
+	}
+	total := uint64(1) << uint(n)
+	if uint64(len(addrs)) > total {
+		return nil, fmt.Errorf("cluster: more executors (%d) than states (%d)", len(addrs), total)
+	}
+	m := &Model{n: n, resp: resp}
+	per := total / uint64(len(addrs))
+	rem := total % uint64(len(addrs))
+	var off uint64
+	for i, addr := range addrs {
+		size := per
+		if uint64(i) < rem {
+			size++
+		}
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		c := &conn{addr: addr, nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), lo: off, hi: off + size}
+		off += size
+		m.conns = append(m.conns, c)
+	}
+	// Materialize the prior in parallel across executors.
+	sums, err := m.fanoutSum(func(c *conn) Request {
+		return Request{Op: OpBuildPrior, Risks: risks, Lo: c.lo, Hi: c.hi}
+	})
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if !(sums > 0) {
+		m.Close()
+		return nil, fmt.Errorf("cluster: degenerate prior (total %v)", sums)
+	}
+	if err := m.scale(1 / sums); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Close tears down every connection. Executors stay alive for the next
+// driver; use Shutdown to terminate them.
+func (m *Model) Close() {
+	for _, c := range m.conns {
+		if c.nc != nil {
+			c.nc.Close()
+		}
+	}
+	m.conns = nil
+}
+
+// Shutdown asks every executor process to exit, then closes connections.
+func (m *Model) Shutdown() {
+	for _, c := range m.conns {
+		_, _ = c.call(Request{Op: OpShutdown})
+	}
+	m.Close()
+}
+
+// N returns the cohort size.
+func (m *Model) N() int { return m.n }
+
+// Executors returns the number of remote shards.
+func (m *Model) Executors() int { return len(m.conns) }
+
+// Tests returns how many outcomes have been absorbed.
+func (m *Model) Tests() int { return m.tests }
+
+// fanout issues build(c) on every executor concurrently and returns the
+// responses in executor-rank order (first error wins).
+func (m *Model) fanout(build func(c *conn) Request) ([]Response, error) {
+	resps := make([]Response, len(m.conns))
+	errs := make([]error, len(m.conns))
+	var wg sync.WaitGroup
+	wg.Add(len(m.conns))
+	for i, c := range m.conns {
+		go func(i int, c *conn) {
+			defer wg.Done()
+			resps[i], errs[i] = c.call(build(c))
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}
+
+// fanoutSum fans out and merges scalar partials with compensation, in rank
+// order.
+func (m *Model) fanoutSum(build func(c *conn) Request) (float64, error) {
+	resps, err := m.fanout(build)
+	if err != nil {
+		return 0, err
+	}
+	var acc prob.Accumulator
+	for _, r := range resps {
+		acc.Add(r.Sum)
+	}
+	return acc.Value(), nil
+}
+
+// fanoutVec fans out and merges vector partials element-wise in rank order.
+func (m *Model) fanoutVec(length int, build func(c *conn) Request) ([]float64, error) {
+	resps, err := m.fanout(build)
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]prob.Accumulator, length)
+	for _, r := range resps {
+		if len(r.Vec) != length {
+			return nil, fmt.Errorf("cluster: partial vector has %d entries, want %d", len(r.Vec), length)
+		}
+		for j, x := range r.Vec {
+			accs[j].Add(x)
+		}
+	}
+	out := make([]float64, length)
+	for j := range accs {
+		out[j] = accs[j].Value()
+	}
+	return out, nil
+}
+
+func (m *Model) scale(factor float64) error {
+	_, err := m.fanout(func(*conn) Request {
+		return Request{Op: OpScale, Factor: factor}
+	})
+	return err
+}
+
+// Update folds one pooled-test outcome into the distributed posterior:
+// one fused multiply-and-sum round, one scale round.
+func (m *Model) Update(pool bitvec.Mask, y dilution.Outcome) error {
+	if pool == 0 {
+		return fmt.Errorf("cluster: empty pool")
+	}
+	if !pool.SubsetOf(bitvec.Full(m.n)) {
+		return fmt.Errorf("cluster: pool %v outside cohort of %d", pool, m.n)
+	}
+	size := pool.Count()
+	lik := make([]float64, size+1)
+	for k := 0; k <= size; k++ {
+		l := m.resp.Likelihood(y, k, size)
+		if l < 0 || math.IsNaN(l) {
+			return fmt.Errorf("cluster: invalid likelihood %v at k=%d", l, k)
+		}
+		lik[k] = l
+	}
+	total, err := m.fanoutSum(func(*conn) Request {
+		return Request{Op: OpUpdateMul, Pool: uint64(pool), Lik: lik}
+	})
+	if err != nil {
+		return err
+	}
+	if !(total > 0) || math.IsInf(total, 0) {
+		return fmt.Errorf("cluster: outcome %v on pool %v has zero total likelihood", y, pool)
+	}
+	if err := m.scale(1 / total); err != nil {
+		return err
+	}
+	m.tests++
+	return nil
+}
+
+// Marginals returns every subject's posterior infection probability.
+func (m *Model) Marginals() ([]float64, error) {
+	return m.fanoutVec(m.n, func(*conn) Request {
+		return Request{Op: OpMarginals}
+	})
+}
+
+// NegMass returns P(S ∩ pool = ∅ | data).
+func (m *Model) NegMass(pool bitvec.Mask) (float64, error) {
+	return m.fanoutSum(func(*conn) Request {
+		return Request{Op: OpSumWhere, Pool: uint64(pool)}
+	})
+}
+
+// NegMasses scores every candidate pool in one distributed sweep.
+func (m *Model) NegMasses(cands []bitvec.Mask) ([]float64, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	masks := make([]uint64, len(cands))
+	for i, c := range cands {
+		masks[i] = uint64(c)
+	}
+	return m.fanoutVec(len(cands), func(*conn) Request {
+		return Request{Op: OpNegMasses, Cands: masks}
+	})
+}
+
+// Entropy returns the posterior entropy in bits.
+func (m *Model) Entropy() (float64, error) {
+	nats, err := m.fanoutSum(func(*conn) Request {
+		return Request{Op: OpEntropy}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return nats / math.Ln2, nil
+}
+
+// IntersectDist returns the posterior distribution of |S ∩ pool|.
+func (m *Model) IntersectDist(pool bitvec.Mask) ([]float64, error) {
+	return m.fanoutVec(bits.OnesCount64(uint64(pool))+1, func(*conn) Request {
+		return Request{Op: OpIntersect, Pool: uint64(pool)}
+	})
+}
+
+// Mass returns the total posterior mass (≈1 between updates).
+func (m *Model) Mass() (float64, error) {
+	return m.fanoutSum(func(*conn) Request {
+		return Request{Op: OpMass}
+	})
+}
+
+// Fetch materializes the full posterior on the driver, in state order.
+// Intended for tests and small lattices only: it moves 8·2^N bytes.
+func (m *Model) Fetch() ([]float64, error) {
+	resps, err := m.fanout(func(*conn) Request {
+		return Request{Op: OpFetch}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for i, r := range resps {
+		want := int(m.conns[i].hi - m.conns[i].lo)
+		if len(r.Vec) != want {
+			return nil, fmt.Errorf("cluster: shard %d returned %d states, want %d", i, len(r.Vec), want)
+		}
+		out = append(out, r.Vec...)
+	}
+	return out, nil
+}
+
+// Ping verifies every executor is reachable.
+func (m *Model) Ping() error {
+	_, err := m.fanout(func(*conn) Request { return Request{Op: OpPing} })
+	return err
+}

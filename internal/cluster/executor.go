@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/bits"
+	"net"
+
+	"repro/internal/engine"
+	"repro/internal/prob"
+)
+
+// Executor serves lattice-shard kernels to one driver connection at a
+// time. It owns a contiguous state range [lo, hi) and evaluates kernels
+// over it with a local engine pool.
+type Executor struct {
+	pool *engine.Pool
+
+	// Shard state, valid after OpBuildPrior.
+	n    int
+	lo   uint64
+	data []float64
+}
+
+// NewExecutor returns an executor whose kernels run on workers local
+// goroutines (<= 0 selects GOMAXPROCS).
+func NewExecutor(workers int) *Executor {
+	return &Executor{pool: engine.NewPool(workers)}
+}
+
+// Close releases the local worker pool.
+func (e *Executor) Close() { e.pool.Close() }
+
+// Serve accepts driver connections on l until l is closed or a Shutdown
+// request arrives. Each connection is handled serially — the protocol has
+// a single driver — and a dropped connection returns the executor to
+// accepting, so a restarted driver can reclaim a live executor (the
+// re-sent BuildPrior re-materializes the shard).
+func (e *Executor) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		shutdown := e.handle(conn)
+		conn.Close()
+		if shutdown {
+			return nil
+		}
+	}
+}
+
+// handle runs one connection's request loop. It reports whether a
+// shutdown was requested.
+func (e *Executor) handle(conn net.Conn) bool {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				log.Printf("cluster executor: decode: %v", err)
+			}
+			return false
+		}
+		if req.Op == OpShutdown {
+			_ = enc.Encode(Response{Op: OpShutdown})
+			return true
+		}
+		resp := e.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			log.Printf("cluster executor: encode: %v", err)
+			return false
+		}
+	}
+}
+
+// dispatch evaluates one request against the shard.
+func (e *Executor) dispatch(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{Op: OpPing}
+	case OpBuildPrior:
+		return e.buildPrior(req)
+	case OpFetch:
+		if e.data == nil {
+			return errorf(req.Op, "no shard built")
+		}
+		return Response{Op: req.Op, Vec: append([]float64(nil), e.data...)}
+	}
+	// Every remaining op needs a built shard.
+	if e.data == nil {
+		return errorf(req.Op, "no shard built")
+	}
+	switch req.Op {
+	case OpUpdateMul:
+		return e.updateMul(req)
+	case OpScale:
+		return e.scale(req)
+	case OpSumWhere:
+		return e.sumWhere(req)
+	case OpMarginals:
+		return e.marginals(req)
+	case OpNegMasses:
+		return e.negMasses(req)
+	case OpEntropy:
+		return e.entropy(req)
+	case OpIntersect:
+		return e.intersect(req)
+	case OpMass:
+		return e.mass(req)
+	case OpPrefix:
+		return e.prefixScan(req)
+	default:
+		return errorf(req.Op, "unknown op")
+	}
+}
+
+// forRange runs body over local index chunks of the shard in parallel.
+func (e *Executor) forRange(body func(lo, hi int)) {
+	e.pool.For(len(e.data), 0, body)
+}
+
+// reduceChunks evaluates a compensated partial sum per fixed-size chunk
+// and merges the chunk partials in order, mirroring engine.Vector's
+// deterministic reduction shape.
+func (e *Executor) reduceChunks(body func(lo, hi int) prob.Accumulator) float64 {
+	const chunk = 1 << 14
+	n := len(e.data)
+	parts := (n + chunk - 1) / chunk
+	partials := make([]prob.Accumulator, parts)
+	e.pool.For(parts, 1, func(plo, phi int) {
+		for p := plo; p < phi; p++ {
+			lo := p * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			partials[p] = body(lo, hi)
+		}
+	})
+	var total prob.Accumulator
+	for _, acc := range partials {
+		total.Merge(acc)
+	}
+	return total.Value()
+}
+
+func (e *Executor) buildPrior(req Request) Response {
+	n := len(req.Risks)
+	if n == 0 || n > 30 {
+		return errorf(req.Op, "invalid cohort size %d", n)
+	}
+	total := uint64(1) << uint(n)
+	if req.Lo >= req.Hi || req.Hi > total {
+		return errorf(req.Op, "invalid shard range [%d,%d) of %d", req.Lo, req.Hi, total)
+	}
+	odds := make([]float64, n)
+	logBase := 0.0
+	for i, p := range req.Risks {
+		if !(p > 0 && p < 1) {
+			return errorf(req.Op, "risk[%d] = %v outside (0,1)", i, p)
+		}
+		odds[i] = p / (1 - p)
+		logBase += math.Log1p(-p)
+	}
+	base := math.Exp(logBase)
+	e.n = n
+	e.lo = req.Lo
+	e.data = make([]float64, req.Hi-req.Lo)
+	e.forRange(func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s := e.lo + uint64(j)
+			w := base
+			for v := s; v != 0; v &= v - 1 {
+				w *= odds[bits.TrailingZeros64(v)]
+			}
+			e.data[j] = w
+		}
+	})
+	return Response{Op: req.Op, Sum: e.reduceChunks(func(lo, hi int) prob.Accumulator {
+		var acc prob.Accumulator
+		for _, w := range e.data[lo:hi] {
+			acc.Add(w)
+		}
+		return acc
+	})}
+}
+
+func (e *Executor) updateMul(req Request) Response {
+	want := bits.OnesCount64(req.Pool) + 1
+	if len(req.Lik) != want {
+		return errorf(req.Op, "likelihood table has %d entries, want %d", len(req.Lik), want)
+	}
+	sum := e.reduceChunks(func(lo, hi int) prob.Accumulator {
+		var acc prob.Accumulator
+		for j := lo; j < hi; j++ {
+			s := e.lo + uint64(j)
+			w := e.data[j] * req.Lik[bits.OnesCount64(s&req.Pool)]
+			e.data[j] = w
+			acc.Add(w)
+		}
+		return acc
+	})
+	return Response{Op: req.Op, Sum: sum}
+}
+
+func (e *Executor) scale(req Request) Response {
+	if math.IsNaN(req.Factor) || math.IsInf(req.Factor, 0) {
+		return errorf(req.Op, "invalid factor %v", req.Factor)
+	}
+	e.forRange(func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			e.data[j] *= req.Factor
+		}
+	})
+	return Response{Op: req.Op}
+}
+
+func (e *Executor) sumWhere(req Request) Response {
+	sum := e.reduceChunks(func(lo, hi int) prob.Accumulator {
+		var acc prob.Accumulator
+		for j := lo; j < hi; j++ {
+			if (e.lo+uint64(j))&req.Pool == 0 {
+				acc.Add(e.data[j])
+			}
+		}
+		return acc
+	})
+	return Response{Op: req.Op, Sum: sum}
+}
+
+func (e *Executor) marginals(Request) Response {
+	out := make([]float64, e.n)
+	// Single-threaded accumulation per executor keeps this allocation-free
+	// and is still distributed across executors; shards are the unit of
+	// parallelism for vector-valued reductions on the wire.
+	for j, w := range e.data {
+		if w == 0 {
+			continue
+		}
+		for v := e.lo + uint64(j); v != 0; v &= v - 1 {
+			out[bits.TrailingZeros64(v)] += w
+		}
+	}
+	return Response{Op: OpMarginals, Vec: out}
+}
+
+func (e *Executor) negMasses(req Request) Response {
+	if len(req.Cands) == 0 {
+		return errorf(req.Op, "no candidates")
+	}
+	out := make([]float64, len(req.Cands))
+	// Candidate-outer, register-accumulating loop (see lattice.NegMasses);
+	// executors additionally parallelize over candidates locally.
+	e.pool.For(len(req.Cands), 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			pm := req.Cands[c]
+			var acc float64
+			for j := range e.data {
+				if (e.lo+uint64(j))&pm == 0 {
+					acc += e.data[j]
+				}
+			}
+			out[c] = acc
+		}
+	})
+	return Response{Op: req.Op, Vec: out}
+}
+
+func (e *Executor) entropy(req Request) Response {
+	sum := e.reduceChunks(func(lo, hi int) prob.Accumulator {
+		var acc prob.Accumulator
+		for _, p := range e.data[lo:hi] {
+			if p > 0 {
+				acc.Add(-p * math.Log(p))
+			}
+		}
+		return acc
+	})
+	return Response{Op: req.Op, Sum: sum}
+}
+
+func (e *Executor) intersect(req Request) Response {
+	out := make([]float64, bits.OnesCount64(req.Pool)+1)
+	for j, w := range e.data {
+		if w == 0 {
+			continue
+		}
+		out[bits.OnesCount64((e.lo+uint64(j))&req.Pool)] += w
+	}
+	return Response{Op: OpIntersect, Vec: out}
+}
+
+// prefixScan returns the shard's min-rank histogram for the halving
+// prefix candidates: slot r accumulates the mass of states whose
+// lowest-ranked infected subject (per req.Order) has rank r, slot
+// len(Order) the mass of states disjoint from the whole ordering. The
+// driver merges histograms and suffix-sums them into prefix clean masses.
+func (e *Executor) prefixScan(req Request) Response {
+	k := len(req.Order)
+	if k == 0 || k > e.n {
+		return errorf(req.Op, "order has %d subjects for cohort of %d", k, e.n)
+	}
+	var rank [64]uint8
+	for i := range rank {
+		rank[i] = uint8(k)
+	}
+	for r, subj := range req.Order {
+		if subj < 0 || subj >= e.n {
+			return errorf(req.Op, "order subject %d outside cohort of %d", subj, e.n)
+		}
+		if rank[subj] != uint8(k) {
+			return errorf(req.Op, "duplicate subject %d in order", subj)
+		}
+		rank[subj] = uint8(r)
+	}
+	out := make([]float64, k+1)
+	for j, w := range e.data {
+		if w == 0 {
+			continue
+		}
+		rmin := uint8(k)
+		for v := e.lo + uint64(j); v != 0; v &= v - 1 {
+			if r := rank[bits.TrailingZeros64(v)]; r < rmin {
+				rmin = r
+			}
+		}
+		out[rmin] += w
+	}
+	return Response{Op: req.Op, Vec: out}
+}
+
+func (e *Executor) mass(req Request) Response {
+	sum := e.reduceChunks(func(lo, hi int) prob.Accumulator {
+		var acc prob.Accumulator
+		for _, w := range e.data[lo:hi] {
+			acc.Add(w)
+		}
+		return acc
+	})
+	return Response{Op: req.Op, Sum: sum}
+}
+
+// ListenAndServe runs an executor on addr until shutdown. It is the body
+// of cmd/sbgt-exec.
+func ListenAndServe(addr string, workers int) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	defer l.Close()
+	e := NewExecutor(workers)
+	defer e.Close()
+	log.Printf("cluster executor: serving on %s", l.Addr())
+	return e.Serve(l)
+}

@@ -1,0 +1,104 @@
+// Package cluster is the distributed runtime of the reproduction: a
+// driver/executor architecture over TCP that plays the role of SBGT's
+// Spark cluster.
+//
+// Each executor owns one contiguous shard of the 2^N lattice posterior and
+// runs the same partition kernels the in-process engine uses (with its own
+// local worker pool). The driver fans a request out to every executor,
+// waits for all partial results, and merges them in executor-rank order so
+// distributed reductions are as deterministic as local ones. The wire
+// format is encoding/gob over one persistent TCP connection per executor,
+// with exactly one request in flight per connection.
+//
+// The protocol is intentionally lattice-specific rather than a generic
+// serialized-closure RPC: shipping *named kernels + small parameter
+// tables* (a likelihood table, a candidate list) instead of code is what
+// makes the distributed mode safe, debuggable, and fast — the same design
+// point Spark reaches with its closure-cleaning + broadcast machinery.
+package cluster
+
+import "fmt"
+
+// Op identifies a kernel the driver can invoke on an executor.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpPing       Op = iota // liveness check; echoes
+	OpBuildPrior           // materialize the prior product measure on the shard
+	OpUpdateMul            // multiply shard by a likelihood table, return partial sum
+	OpScale                // multiply shard by a scalar
+	OpSumWhere             // partial sum of states disjoint from a mask (NegMass)
+	OpMarginals            // partial per-subject marginal vector
+	OpNegMasses            // partial clean-mass vector for candidate pools
+	OpEntropy              // partial Σ −p·ln p
+	OpIntersect            // partial intersect-count distribution for one pool
+	OpMass                 // partial total mass
+	OpFetch                // return the raw shard (tests / checkpointing)
+	OpShutdown             // close the executor process
+	OpPrefix               // partial min-rank histogram for the halving prefix scan
+)
+
+// String names the op for errors and logs.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpBuildPrior:
+		return "build-prior"
+	case OpUpdateMul:
+		return "update-mul"
+	case OpScale:
+		return "scale"
+	case OpSumWhere:
+		return "sum-where"
+	case OpMarginals:
+		return "marginals"
+	case OpNegMasses:
+		return "neg-masses"
+	case OpEntropy:
+		return "entropy"
+	case OpIntersect:
+		return "intersect"
+	case OpMass:
+		return "mass"
+	case OpFetch:
+		return "fetch"
+	case OpShutdown:
+		return "shutdown"
+	case OpPrefix:
+		return "prefix-scan"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Request is one driver→executor message. Fields are op-specific; unused
+// fields stay zero and gob elides them.
+type Request struct {
+	Op Op
+	// BuildPrior.
+	Risks  []float64 // per-subject prior risks (defines N too)
+	Lo, Hi uint64    // global state range [Lo, Hi) owned by this executor
+	// UpdateMul / SumWhere / NegMasses / Intersect.
+	Pool  uint64    // pool mask
+	Lik   []float64 // likelihood by intersect count, len = popcount(Pool)+1
+	Cands []uint64  // candidate pool masks
+	// Prefix: subject ordering for the prefix scan.
+	Order []int
+	// Scale.
+	Factor float64
+}
+
+// Response is one executor→driver message.
+type Response struct {
+	Op  Op
+	Err string // non-empty on failure; the rest of the payload is invalid
+	Sum float64
+	Vec []float64
+}
+
+// errorf builds a failure response for the given op.
+func errorf(op Op, format string, args ...any) Response {
+	return Response{Op: op, Err: fmt.Sprintf(format, args...)}
+}

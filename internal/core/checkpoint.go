@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/halving"
+	"repro/internal/latticeio"
+)
+
+// sessionHeader is the gob-encoded session metadata that precedes the
+// lattice checkpoint. The selection strategy is deliberately NOT
+// serialized: strategies are arbitrary (possibly stateful) implementations
+// the checkpoint format cannot promise to round-trip, so LoadSession takes
+// the strategy from the caller's config — which also lets an operator
+// change selection policy across a restart without invalidating the
+// posterior.
+type sessionHeader struct {
+	Version int
+	Active  []int
+	Calls   []Classification
+	Stage   int
+	Tests   int
+	Entropy []float64
+	Log     []TestRecord
+	// Config echo (minus Strategy/Response, which live with the lattice
+	// or the caller).
+	Lookahead    int
+	PosThreshold float64
+	NegThreshold float64
+	MaxStages    int
+	Parts        int
+	Done         bool
+}
+
+const sessionVersion = 1
+
+// SaveSession checkpoints a mid-campaign session: classifications made so
+// far, the stage/test counters, the test log, and — unless the session is
+// already complete — the live lattice posterior over the still-active
+// subjects.
+func (s *Session) SaveSession(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	h := sessionHeader{
+		Version:      sessionVersion,
+		Active:       s.active,
+		Calls:        s.calls,
+		Stage:        s.stage,
+		Tests:        s.tests,
+		Entropy:      s.entropy,
+		Log:          s.log,
+		Lookahead:    s.cfg.Lookahead,
+		PosThreshold: s.cfg.PosThreshold,
+		NegThreshold: s.cfg.NegThreshold,
+		MaxStages:    s.cfg.MaxStages,
+		Parts:        s.cfg.Parts,
+		Done:         s.model == nil,
+	}
+	if err := gob.NewEncoder(bw).Encode(&h); err != nil {
+		return fmt.Errorf("core: encode session header: %w", err)
+	}
+	if s.model != nil {
+		if err := latticeio.Save(bw, s.model); err != nil {
+			return fmt.Errorf("core: save lattice: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSession restores a session checkpoint onto the pool. strategy
+// supplies the selection policy for the resumed campaign (nil selects the
+// default halving strategy); it must be compatible with the Lookahead
+// recorded in the checkpoint (lookahead > 1 requires halving, as at
+// session construction).
+func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Session, error) {
+	br := bufio.NewReader(r)
+	var h sessionHeader
+	if err := gob.NewDecoder(br).Decode(&h); err != nil {
+		return nil, fmt.Errorf("core: decode session header: %w", err)
+	}
+	if h.Version != sessionVersion {
+		return nil, fmt.Errorf("core: unsupported session checkpoint version %d", h.Version)
+	}
+	if len(h.Calls) == 0 {
+		return nil, fmt.Errorf("core: checkpoint has no subjects")
+	}
+	if !h.Done && len(h.Active) == 0 {
+		return nil, fmt.Errorf("core: checkpoint claims live lattice but has no active subjects")
+	}
+	for _, g := range h.Active {
+		if g < 0 || g >= len(h.Calls) {
+			return nil, fmt.Errorf("core: active subject %d outside cohort of %d", g, len(h.Calls))
+		}
+	}
+	s := &Session{
+		active:  h.Active,
+		calls:   h.Calls,
+		stage:   h.Stage,
+		tests:   h.Tests,
+		entropy: h.Entropy,
+		log:     h.Log,
+	}
+	if !h.Done {
+		model, err := latticeio.Load(br, pool, h.Parts)
+		if err != nil {
+			return nil, fmt.Errorf("core: load lattice: %w", err)
+		}
+		if model.N() != len(h.Active) {
+			return nil, fmt.Errorf("core: lattice has %d subjects, header lists %d active", model.N(), len(h.Active))
+		}
+		s.model = model
+		// Rebuild the config through the usual validation path so the
+		// resumed session enforces the same invariants as a fresh one.
+		cfg := Config{
+			Risks:        model.Risks(),
+			Response:     model.Response(),
+			Strategy:     strategy,
+			Lookahead:    h.Lookahead,
+			PosThreshold: h.PosThreshold,
+			NegThreshold: h.NegThreshold,
+			MaxStages:    h.MaxStages,
+			Parts:        h.Parts,
+		}
+		full, err := cfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		s.cfg = full
+	} else {
+		s.cfg = Config{
+			Lookahead:    h.Lookahead,
+			PosThreshold: h.PosThreshold,
+			NegThreshold: h.NegThreshold,
+			MaxStages:    h.MaxStages,
+			Parts:        h.Parts,
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,381 @@
+// Package core orchestrates the SBGT surveillance loop: build the lattice
+// prior, select pools (Bayesian halving or a comparison strategy), run the
+// physical tests, fold outcomes into the posterior, classify subjects whose
+// marginals cross the decision thresholds, and collapse classified subjects
+// out of the lattice so the state space shrinks as certainty accumulates.
+//
+// A Session owns one cohort's classification campaign. Subjects are
+// identified by their *global* index in the original cohort throughout;
+// internally the session maintains the mapping onto the shrinking lattice.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/halving"
+	"repro/internal/lattice"
+)
+
+// Status is a subject's classification state.
+type Status int8
+
+// Classification states.
+const (
+	StatusUnknown  Status = iota // still in the lattice
+	StatusNegative               // classified not infected
+	StatusPositive               // classified infected
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusNegative:
+		return "negative"
+	case StatusPositive:
+		return "positive"
+	default:
+		return "unknown"
+	}
+}
+
+// Classification records one subject's final call.
+type Classification struct {
+	Subject  int // global subject index
+	Status   Status
+	Marginal float64 // posterior infection probability at decision time
+	Stage    int     // stage at which the call was made (1-based; 0 = never)
+	Forced   bool    // true when called at termination without crossing a threshold
+}
+
+// TestRecord logs one physical pooled test.
+type TestRecord struct {
+	Stage   int
+	Pool    bitvec.Mask // global subject indices
+	Outcome dilution.Outcome
+}
+
+// TestFunc runs one physical pooled test on the given subjects (global
+// indices) and returns the outcome — in production a LIMS call, in the
+// experiments a workload.Oracle.
+type TestFunc func(pool bitvec.Mask) dilution.Outcome
+
+// Config configures a surveillance session.
+type Config struct {
+	// Risks holds per-subject prior infection probabilities (length = cohort
+	// size, each in (0,1)). Required.
+	Risks []float64
+	// Response models the pooled assay. Required.
+	Response dilution.Response
+	// Strategy selects pools; nil defaults to the Bayesian Halving
+	// Algorithm with MaxPool 32.
+	Strategy halving.Strategy
+	// Lookahead > 1 selects that many pools per stage with the halving
+	// look-ahead rule (fewer lab round-trips, slightly more tests).
+	// Requires the strategy to be halving (or nil).
+	Lookahead int
+	// PosThreshold classifies a subject positive when its marginal reaches
+	// it; 0 defaults to 0.99.
+	PosThreshold float64
+	// NegThreshold classifies a subject negative when its marginal falls to
+	// it; 0 defaults to 0.01.
+	NegThreshold float64
+	// MaxStages caps the sequential stages before remaining subjects are
+	// force-classified at the posterior mode; 0 defaults to 64.
+	MaxStages int
+	// Parts is the lattice partition count (engine default when 0).
+	Parts int
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if len(out.Risks) == 0 {
+		return out, fmt.Errorf("core: empty cohort")
+	}
+	if out.Response == nil {
+		return out, fmt.Errorf("core: nil response model")
+	}
+	if out.Strategy == nil {
+		out.Strategy = halving.Halving{Opts: halving.Options{MaxPool: 32}}
+	}
+	if out.Lookahead < 1 {
+		out.Lookahead = 1
+	}
+	if out.Lookahead > 1 {
+		if _, ok := out.Strategy.(halving.Halving); !ok {
+			return out, fmt.Errorf("core: lookahead requires the halving strategy, have %s", out.Strategy.Name())
+		}
+	}
+	if out.PosThreshold == 0 {
+		out.PosThreshold = 0.99
+	}
+	if out.NegThreshold == 0 {
+		out.NegThreshold = 0.01
+	}
+	if !(out.NegThreshold > 0 && out.NegThreshold < out.PosThreshold && out.PosThreshold < 1) {
+		return out, fmt.Errorf("core: thresholds neg=%v pos=%v invalid", out.NegThreshold, out.PosThreshold)
+	}
+	if out.MaxStages == 0 {
+		out.MaxStages = 64
+	}
+	if out.MaxStages < 0 {
+		return out, fmt.Errorf("core: MaxStages %d negative", out.MaxStages)
+	}
+	return out, nil
+}
+
+// Session is one cohort's classification campaign. Not safe for concurrent
+// use; the parallelism lives inside the lattice kernels.
+type Session struct {
+	cfg     Config
+	model   *lattice.Model // nil once every subject is classified
+	active  []int          // lattice position -> global subject index
+	calls   []Classification
+	stage   int
+	tests   int
+	entropy []float64 // posterior entropy after each stage (bits)
+	log     []TestRecord
+}
+
+// NewSession builds the prior lattice over the whole cohort.
+func NewSession(pool *engine.Pool, cfg Config) (*Session, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	model, err := lattice.New(pool, lattice.Config{Risks: full.Risks, Response: full.Response, Parts: full.Parts})
+	if err != nil {
+		return nil, err
+	}
+	n := len(full.Risks)
+	s := &Session{
+		cfg:    full,
+		model:  model,
+		active: make([]int, n),
+		calls:  make([]Classification, n),
+	}
+	for i := range s.active {
+		s.active[i] = i
+		s.calls[i] = Classification{Subject: i, Status: StatusUnknown, Marginal: full.Risks[i]}
+	}
+	s.entropy = append(s.entropy, model.Entropy())
+	return s, nil
+}
+
+// Done reports whether every subject is classified.
+func (s *Session) Done() bool { return s.model == nil }
+
+// Stage returns the number of completed stages.
+func (s *Session) Stage() int { return s.stage }
+
+// Tests returns the number of physical tests run so far.
+func (s *Session) Tests() int { return s.tests }
+
+// Remaining returns the number of unclassified subjects.
+func (s *Session) Remaining() int {
+	if s.model == nil {
+		return 0
+	}
+	return s.model.N()
+}
+
+// Classifications returns the per-subject calls made so far (global order).
+// Unclassified subjects have StatusUnknown and their current marginal.
+func (s *Session) Classifications() []Classification {
+	out := make([]Classification, len(s.calls))
+	copy(out, s.calls)
+	if s.model != nil {
+		marg := s.model.Marginals()
+		for pos, g := range s.active {
+			out[g].Marginal = marg[pos]
+		}
+	}
+	return out
+}
+
+// globalMask maps a lattice-position mask to global subject indices.
+func (s *Session) globalMask(m bitvec.Mask) bitvec.Mask {
+	var out bitvec.Mask
+	for _, pos := range m.Indices() {
+		out = out.With(s.active[pos])
+	}
+	return out
+}
+
+// Step runs one stage: select pools, run them through test, absorb the
+// outcomes, and classify every subject whose marginal crossed a threshold.
+// It is a no-op when the session is done.
+func (s *Session) Step(test TestFunc) error {
+	if s.Done() {
+		return nil
+	}
+	if test == nil {
+		return fmt.Errorf("core: nil test function")
+	}
+	var pools []bitvec.Mask
+	if s.cfg.Lookahead > 1 {
+		h := s.cfg.Strategy.(halving.Halving)
+		depth := s.cfg.Lookahead
+		sels := halving.SelectLookahead(s.model, depth, h.Opts)
+		for _, sel := range sels {
+			pools = append(pools, sel.Pool)
+		}
+	} else {
+		pools = []bitvec.Mask{s.cfg.Strategy.Next(s.model)}
+	}
+	s.stage++
+	for _, p := range pools {
+		if p == 0 {
+			return fmt.Errorf("core: strategy %s selected an empty pool", s.cfg.Strategy.Name())
+		}
+		gp := s.globalMask(p)
+		y := test(gp)
+		s.tests++
+		s.log = append(s.log, TestRecord{Stage: s.stage, Pool: gp, Outcome: y})
+		if err := s.model.Update(p, y); err != nil {
+			return fmt.Errorf("core: stage %d: %w", s.stage, err)
+		}
+	}
+	s.classify()
+	if s.model != nil {
+		s.entropy = append(s.entropy, s.model.Entropy())
+	}
+	return nil
+}
+
+// classify repeatedly conditions out the most certain subject until no
+// marginal crosses a threshold. Marginals are recomputed after each
+// collapse because conditioning shifts the survivors' posteriors.
+func (s *Session) classify() {
+	for s.model != nil {
+		marg := s.model.Marginals()
+		// Most extreme crossing first: the strongest call distorts the
+		// remaining posterior least when conditioned on.
+		bestPos, bestExtremity := -1, 0.0
+		positive := false
+		for pos, g := range marg {
+			var ext float64
+			var isPos bool
+			switch {
+			case g >= s.cfg.PosThreshold:
+				ext, isPos = g-s.cfg.PosThreshold, true
+			case g <= s.cfg.NegThreshold:
+				ext, isPos = s.cfg.NegThreshold-g, false
+			default:
+				continue
+			}
+			if bestPos == -1 || ext > bestExtremity {
+				bestPos, bestExtremity, positive = pos, ext, isPos
+			}
+		}
+		if bestPos == -1 {
+			return
+		}
+		s.record(bestPos, positive, marg[bestPos], false)
+	}
+}
+
+// record classifies the subject at lattice position pos and collapses it
+// out of the model. When it is the last subject, the model is released and
+// the session completes.
+func (s *Session) record(pos int, positive bool, marginal float64, forced bool) {
+	g := s.active[pos]
+	status := StatusNegative
+	if positive {
+		status = StatusPositive
+	}
+	s.calls[g] = Classification{Subject: g, Status: status, Marginal: marginal, Stage: s.stage, Forced: forced}
+	if s.model.N() == 1 {
+		s.model = nil
+		s.active = nil
+		return
+	}
+	reduced := s.model.Condition(pos, positive)
+	if reduced == nil {
+		// Conditioning on a zero-mass event cannot happen for a threshold
+		// crossing (the marginal bounds the event mass away from zero), but
+		// a forced call at marginal exactly 0 or 1 can hit it; fall back to
+		// keeping the model and marking the subject classified only.
+		reduced = s.model.Condition(pos, !positive)
+		if reduced == nil {
+			s.model = nil
+			s.active = nil
+			return
+		}
+	}
+	s.model = reduced
+	s.active = append(s.active[:pos], s.active[pos+1:]...)
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Classifications []Classification // per subject, global order
+	Tests           int              // physical tests consumed
+	Stages          int              // sequential stages consumed
+	Converged       bool             // false when MaxStages forced the tail calls
+	EntropyTrace    []float64        // posterior entropy (bits) after each stage; [0] is the prior
+	Log             []TestRecord     // every test in execution order
+}
+
+// TestsPerSubject returns Tests divided by the cohort size.
+func (r *Result) TestsPerSubject() float64 {
+	if len(r.Classifications) == 0 {
+		return 0
+	}
+	return float64(r.Tests) / float64(len(r.Classifications))
+}
+
+// Positives returns the set of subjects classified positive.
+func (r *Result) Positives() bitvec.Mask {
+	var m bitvec.Mask
+	for _, c := range r.Classifications {
+		if c.Status == StatusPositive {
+			m = m.With(c.Subject)
+		}
+	}
+	return m
+}
+
+// Run drives Step until every subject is classified or MaxStages is
+// reached, then force-classifies any leftovers at the posterior mode
+// (marginal ≥ ½ ⇒ positive).
+func (s *Session) Run(test TestFunc) (*Result, error) {
+	converged := true
+	for !s.Done() {
+		if s.stage >= s.cfg.MaxStages {
+			converged = false
+			s.forceRemaining()
+			break
+		}
+		if err := s.Step(test); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Classifications: s.Classifications(),
+		Tests:           s.tests,
+		Stages:          s.stage,
+		Converged:       converged,
+		EntropyTrace:    append([]float64(nil), s.entropy...),
+		Log:             append([]TestRecord(nil), s.log...),
+	}, nil
+}
+
+// forceRemaining classifies every still-unknown subject at the posterior
+// mode. Calls are marked Forced so analyses can separate them.
+func (s *Session) forceRemaining() {
+	for s.model != nil {
+		marg := s.model.Marginals()
+		// Most certain first, mirroring classify.
+		best, bestDist := 0, -1.0
+		for pos := range marg {
+			if d := math.Abs(marg[pos] - 0.5); d > bestDist {
+				best, bestDist = pos, d
+			}
+		}
+		s.record(best, marg[best] >= 0.5, marg[best], true)
+	}
+}

@@ -1,0 +1,105 @@
+package dilution
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// CtValue models an RT-PCR readout as a continuous cycle-threshold (Ct)
+// value — the "general test response distributions beyond just binary
+// outcomes" the Bayesian framework supports.
+//
+// Physics: amplification is exponential, so halving the infected fraction
+// of a pool delays detection by about one cycle. Given k ≥ 1 infected in a
+// pool of n, the Ct reading is
+//
+//	Ct | k, n  ~  Normal(Base + Slope·log2(n/k), Sigma)
+//
+// censored at MaxCycles: a reaction that has not crossed threshold by the
+// cycle cap reads out as a negative. A clean pool (k = 0) amplifies only
+// through contamination, with probability 1 − Spec, in which case the Ct is
+// uniform over the last ContamWindow cycles before the cap (late, weak
+// signals).
+type CtValue struct {
+	Base         float64 // mean Ct of an undiluted positive pool
+	Slope        float64 // cycles added per two-fold dilution (≈1 for perfect PCR)
+	Sigma        float64 // measurement noise, in cycles
+	MaxCycles    float64 // censoring limit (assays run 40–45 cycles)
+	Spec         float64 // P(no contamination signal | k = 0)
+	ContamWindow float64 // width of the late-cycle band contamination lands in
+}
+
+// DefaultCt returns literature-typical RT-PCR parameters: 22-cycle baseline,
+// one cycle per two-fold dilution, 1.5 cycles of noise, a 40-cycle cap, and
+// 0.1% contamination landing within 5 cycles of the cap.
+func DefaultCt() CtValue {
+	return CtValue{Base: 22, Slope: 1, Sigma: 1.5, MaxCycles: 40, Spec: 0.999, ContamWindow: 5}
+}
+
+// mean returns the expected Ct for k >= 1 infected among n.
+func (c CtValue) mean(k, n int) float64 {
+	return c.Base + c.Slope*math.Log2(float64(n)/float64(k))
+}
+
+// normPDF is the Normal(mu, sigma) density at x.
+func normPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// normCDF is the standard-normal-based CDF of Normal(mu, sigma) at x.
+func normCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// Likelihood implements Response. For a positive outcome it returns the
+// density of the observed Ct; for a negative outcome the censored-tail
+// probability P(Ct > MaxCycles).
+func (c CtValue) Likelihood(y Outcome, k, n int) float64 {
+	if k == 0 {
+		if !y.Positive {
+			return c.Spec
+		}
+		// Contamination: uniform density over the late window, zero outside.
+		lo := c.MaxCycles - c.ContamWindow
+		if y.Ct >= lo && y.Ct <= c.MaxCycles {
+			return (1 - c.Spec) / c.ContamWindow
+		}
+		return 0
+	}
+	mu := c.mean(k, n)
+	if y.Positive {
+		if y.Ct > c.MaxCycles {
+			return 0 // a reading beyond the cap cannot be reported positive
+		}
+		return normPDF(y.Ct, mu, c.Sigma)
+	}
+	return 1 - normCDF(c.MaxCycles, mu, c.Sigma)
+}
+
+// Sample implements Response.
+func (c CtValue) Sample(r *rng.Source, k, n int) Outcome {
+	validate(k, n)
+	if k == 0 {
+		if r.Bernoulli(c.Spec) {
+			return Negative
+		}
+		ct := c.MaxCycles - c.ContamWindow*r.Float64()
+		return Outcome{Positive: true, Ct: ct}
+	}
+	ct := c.mean(k, n) + c.Sigma*r.NormFloat64()
+	if ct > c.MaxCycles {
+		return Negative
+	}
+	if ct < 1 {
+		ct = 1 // physical floor: amplification needs at least one cycle
+	}
+	return Outcome{Positive: true, Ct: ct}
+}
+
+// Name implements Response.
+func (c CtValue) Name() string {
+	return fmt.Sprintf("ct(base=%.3g,slope=%.3g,sigma=%.3g,max=%.3g)", c.Base, c.Slope, c.Sigma, c.MaxCycles)
+}

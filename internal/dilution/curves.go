@@ -1,0 +1,154 @@
+package dilution
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prob"
+	"repro/internal/rng"
+)
+
+// Hyperbolic is Hwang's dilution model: when k of n specimens are infected,
+// the test detects with probability
+//
+//	P(positive | k, n) = MaxSens · k / (k + D·(n−k))        for k ≥ 1
+//	P(positive | 0, n) = 1 − Spec
+//
+// D ∈ (0, 1] controls dilution severity: D → 0 recovers the undiluted
+// Binary model; D = 1 makes sensitivity proportional to prevalence in the
+// pool. This is the primary dilution family in the Biostatistics companion
+// paper's experiments.
+type Hyperbolic struct {
+	MaxSens float64 // sensitivity of an undiluted (all-positive) pool
+	Spec    float64
+	D       float64
+}
+
+// PosProb returns P(positive | k, n).
+func (h Hyperbolic) PosProb(k, n int) float64 {
+	if k == 0 {
+		return 1 - h.Spec
+	}
+	kk := float64(k)
+	return prob.Clamp01(h.MaxSens * kk / (kk + h.D*float64(n-k)))
+}
+
+// Likelihood implements Response.
+func (h Hyperbolic) Likelihood(y Outcome, k, n int) float64 {
+	p := h.PosProb(k, n)
+	if y.Positive {
+		return p
+	}
+	return 1 - p
+}
+
+// Sample implements Response.
+func (h Hyperbolic) Sample(r *rng.Source, k, n int) Outcome {
+	validate(k, n)
+	if r.Bernoulli(h.PosProb(k, n)) {
+		return Positive
+	}
+	return Negative
+}
+
+// Name implements Response.
+func (h Hyperbolic) Name() string {
+	return fmt.Sprintf("hyperbolic(se=%.3g,sp=%.3g,d=%.3g)", h.MaxSens, h.Spec, h.D)
+}
+
+// Logistic models sensitivity as a logistic function of log concentration:
+//
+//	P(positive | k, n) = MaxSens · σ(Alpha + Beta·log2(k/n))   for k ≥ 1
+//
+// Beta > 0 sets how many two-fold dilutions the assay tolerates; Alpha
+// positions the curve so an undiluted positive (k = n) detects at
+// MaxSens·σ(Alpha). This mirrors how limit-of-detection curves are fitted
+// to serial-dilution lab panels.
+type Logistic struct {
+	MaxSens float64
+	Spec    float64
+	Alpha   float64
+	Beta    float64
+}
+
+// PosProb returns P(positive | k, n).
+func (l Logistic) PosProb(k, n int) float64 {
+	if k == 0 {
+		return 1 - l.Spec
+	}
+	x := l.Alpha + l.Beta*math.Log2(float64(k)/float64(n))
+	return prob.Clamp01(l.MaxSens * prob.Logistic(x))
+}
+
+// Likelihood implements Response.
+func (l Logistic) Likelihood(y Outcome, k, n int) float64 {
+	p := l.PosProb(k, n)
+	if y.Positive {
+		return p
+	}
+	return 1 - p
+}
+
+// Sample implements Response.
+func (l Logistic) Sample(r *rng.Source, k, n int) Outcome {
+	validate(k, n)
+	if r.Bernoulli(l.PosProb(k, n)) {
+		return Positive
+	}
+	return Negative
+}
+
+// Name implements Response.
+func (l Logistic) Name() string {
+	return fmt.Sprintf("logistic(se=%.3g,sp=%.3g,a=%.3g,b=%.3g)", l.MaxSens, l.Spec, l.Alpha, l.Beta)
+}
+
+// Subsample is the independent-detection model: each infected specimen in
+// the pool survives dilution and triggers detection independently with
+// probability Q/n-scaled concentration, so
+//
+//	P(positive | k, n) = 1 − Spec                    for k = 0
+//	P(positive | k, n) = 1 − (1 − Q/n)^k·(1-FalseNeg) ...
+//
+// concretely: each of the k infected contributes detectable material with
+// probability q(n) = Q·(pool of 1)/n normalized so a lone positive in a
+// pool of 1 detects with probability Q. A pool is positive when at least
+// one contribution is detected (plus the false-positive floor 1 − Spec).
+type Subsample struct {
+	Q    float64 // per-specimen detection probability in an undiluted test
+	Spec float64
+}
+
+// PosProb returns P(positive | k, n).
+func (s Subsample) PosProb(k, n int) float64 {
+	if k == 0 {
+		return 1 - s.Spec
+	}
+	q := s.Q / float64(n)
+	pMiss := math.Pow(1-q, float64(k))
+	// Independent false-positive channel: 1 − Spec fires regardless.
+	return prob.Clamp01(1 - pMiss*s.Spec)
+}
+
+// Likelihood implements Response.
+func (s Subsample) Likelihood(y Outcome, k, n int) float64 {
+	p := s.PosProb(k, n)
+	if y.Positive {
+		return p
+	}
+	return 1 - p
+}
+
+// Sample implements Response.
+func (s Subsample) Sample(r *rng.Source, k, n int) Outcome {
+	validate(k, n)
+	if r.Bernoulli(s.PosProb(k, n)) {
+		return Positive
+	}
+	return Negative
+}
+
+// Name implements Response.
+func (s Subsample) Name() string {
+	return fmt.Sprintf("subsample(q=%.3g,sp=%.3g)", s.Q, s.Spec)
+}

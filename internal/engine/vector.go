@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// Vector is a dense float64 vector split into contiguous partitions, the
+// engine's analogue of a cached Spark RDD of doubles. Partitions are the
+// unit of scheduling: kernels run one partition body at a time on a worker,
+// and reductions merge per-partition partials in ascending partition order
+// so results do not depend on execution interleaving.
+type Vector struct {
+	pool    *Pool
+	parts   [][]float64
+	offsets []uint64 // global index of each partition's first element
+	n       uint64
+}
+
+// NewVector allocates a zero-filled vector of n elements on pool, split
+// into the given number of partitions (parts <= 0 selects 4 per worker,
+// enough slack for dynamic balancing without drowning in scheduling).
+// The backing store is one contiguous allocation, so partition boundaries
+// cost nothing in locality.
+func NewVector(pool *Pool, n uint64, parts int) *Vector {
+	if pool == nil {
+		panic("engine: NewVector with nil pool")
+	}
+	if parts <= 0 {
+		parts = pool.Workers() * 4
+	}
+	if uint64(parts) > n && n > 0 {
+		parts = int(n)
+	}
+	if n == 0 {
+		parts = 0
+	}
+	v := &Vector{
+		pool:    pool,
+		parts:   make([][]float64, parts),
+		offsets: make([]uint64, parts),
+		n:       n,
+	}
+	if parts == 0 {
+		return v
+	}
+	backing := make([]float64, n)
+	per := n / uint64(parts)
+	rem := n % uint64(parts)
+	var off uint64
+	for i := 0; i < parts; i++ {
+		size := per
+		if uint64(i) < rem {
+			size++
+		}
+		v.parts[i] = backing[off : off+size : off+size]
+		v.offsets[i] = off
+		off += size
+	}
+	return v
+}
+
+// Len returns the number of elements.
+func (v *Vector) Len() uint64 { return v.n }
+
+// Parts returns the number of partitions.
+func (v *Vector) Parts() int { return len(v.parts) }
+
+// Pool returns the pool the vector schedules on.
+func (v *Vector) Pool() *Pool { return v.pool }
+
+// At returns element i. It is intended for tests and debugging; kernels
+// should use partition bodies. It panics when i is out of range.
+func (v *Vector) At(i uint64) float64 {
+	p, j := v.locate(i)
+	return v.parts[p][j]
+}
+
+// Set writes element i. Like At, it is for tests and setup code.
+func (v *Vector) Set(i uint64, x float64) {
+	p, j := v.locate(i)
+	v.parts[p][j] = x
+}
+
+func (v *Vector) locate(i uint64) (part int, idx uint64) {
+	if i >= v.n {
+		panic(fmt.Sprintf("engine: index %d out of range [0,%d)", i, v.n))
+	}
+	// Partition sizes differ by at most one, so a direct estimate lands on
+	// or next to the right partition; fix up locally.
+	p := int(i * uint64(len(v.parts)) / v.n)
+	if p >= len(v.parts) {
+		p = len(v.parts) - 1
+	}
+	for v.offsets[p] > i {
+		p--
+	}
+	for p+1 < len(v.parts) && v.offsets[p+1] <= i {
+		p++
+	}
+	return p, i - v.offsets[p]
+}
+
+// ForPartitions runs body once per partition in parallel. body receives the
+// partition index, the global index of the partition's first element, and
+// the partition's data slice, which it may mutate. This is the primitive
+// the lattice layer builds its fused kernels on.
+func (v *Vector) ForPartitions(body func(part int, offset uint64, data []float64)) {
+	v.pool.For(len(v.parts), 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			body(p, v.offsets[p], v.parts[p])
+		}
+	})
+}
+
+// ReduceSum runs body once per partition in parallel; each invocation
+// returns a compensated partial sum for its partition. Partials are merged
+// in ascending partition order, giving a fixed-shape reduction tree:
+// repeated runs produce bit-identical results regardless of scheduling.
+func (v *Vector) ReduceSum(body func(part int, offset uint64, data []float64) prob.Accumulator) float64 {
+	partials := make([]prob.Accumulator, len(v.parts))
+	v.pool.For(len(v.parts), 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			partials[p] = body(p, v.offsets[p], v.parts[p])
+		}
+	})
+	var total prob.Accumulator
+	for _, acc := range partials {
+		total.Merge(acc)
+	}
+	return total.Value()
+}
+
+// ReduceVec is the multi-output reduction: each partition fills a
+// length-m partial vector (out is zeroed before body runs), and partials
+// are merged component-wise in ascending partition order with compensated
+// accumulators. It returns the merged vector. The marginal computation
+// (m = number of subjects) and the halving candidate scan (m = number of
+// candidate pools) are both single ReduceVec passes.
+func (v *Vector) ReduceVec(m int, body func(part int, offset uint64, data []float64, out []float64)) []float64 {
+	partials := make([][]float64, len(v.parts))
+	v.pool.For(len(v.parts), 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			out := make([]float64, m)
+			body(p, v.offsets[p], v.parts[p], out)
+			partials[p] = out
+		}
+	})
+	accs := make([]prob.Accumulator, m)
+	for _, part := range partials {
+		for j, x := range part {
+			accs[j].Add(x)
+		}
+	}
+	out := make([]float64, m)
+	for j := range accs {
+		out[j] = accs[j].Value()
+	}
+	return out
+}
+
+// Fill sets every element to x, in parallel.
+func (v *Vector) Fill(x float64) {
+	v.ForPartitions(func(_ int, _ uint64, data []float64) {
+		for i := range data {
+			data[i] = x
+		}
+	})
+}
+
+// Map applies fn element-wise in place; fn receives the global index.
+// Prefer a hand-fused ForPartitions body on hot paths — Map pays one
+// indirect call per element and exists for setup code and tests.
+func (v *Vector) Map(fn func(i uint64, x float64) float64) {
+	v.ForPartitions(func(_ int, offset uint64, data []float64) {
+		for j := range data {
+			data[j] = fn(offset+uint64(j), data[j])
+		}
+	})
+}
+
+// Scale multiplies every element by c.
+func (v *Vector) Scale(c float64) {
+	v.ForPartitions(func(_ int, _ uint64, data []float64) {
+		for i := range data {
+			data[i] *= c
+		}
+	})
+}
+
+// Sum returns the deterministic compensated total of the vector.
+func (v *Vector) Sum() float64 {
+	return v.ReduceSum(func(_ int, _ uint64, data []float64) prob.Accumulator {
+		var acc prob.Accumulator
+		for _, x := range data {
+			acc.Add(x)
+		}
+		return acc
+	})
+}
+
+// Normalize scales the vector so it sums to 1 and returns the pre-scale
+// total. Like prob.Normalize, a degenerate total (zero, NaN, ±Inf) leaves
+// the data unchanged.
+func (v *Vector) Normalize() float64 {
+	total := v.Sum()
+	if !(total > 0) || total > maxFinite {
+		return total
+	}
+	v.Scale(1 / total)
+	return total
+}
+
+const maxFinite = 1.7976931348623157e308
+
+// Clone returns a deep copy sharing the pool and partition layout.
+func (v *Vector) Clone() *Vector {
+	out := NewVector(v.pool, v.n, len(v.parts))
+	out.ForPartitions(func(p int, _ uint64, data []float64) {
+		copy(data, v.parts[p])
+	})
+	return out
+}
+
+// CopyFrom overwrites v's contents with src's. Layouts must match exactly
+// (same length and partition count) or CopyFrom panics.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.n != src.n || len(v.parts) != len(src.parts) {
+		panic("engine: CopyFrom layout mismatch")
+	}
+	v.ForPartitions(func(p int, _ uint64, data []float64) {
+		copy(data, src.parts[p])
+	})
+}
+
+// Slice materializes the whole vector into one flat slice, for tests and
+// for shipping small vectors across the cluster wire.
+func (v *Vector) Slice() []float64 {
+	out := make([]float64, v.n)
+	v.ForPartitions(func(_ int, offset uint64, data []float64) {
+		copy(out[offset:], data)
+	})
+	return out
+}

@@ -1,0 +1,52 @@
+package halving
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/lattice"
+)
+
+func benchModel(b *testing.B, n int) *lattice.Model {
+	b.Helper()
+	pool := engine.NewPool(0)
+	b.Cleanup(pool.Close)
+	risks := make([]float64, n)
+	for i := range risks {
+		risks[i] = 0.06
+	}
+	m, err := lattice.New(pool, lattice.Config{Risks: risks, Response: dilution.Binary{Sens: 0.95, Spec: 0.99}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Update(bitvec.Full(n/2), dilution.Positive); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSelect(b *testing.B) {
+	m := benchModel(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(m, Options{MaxPool: 16})
+	}
+}
+
+func BenchmarkSelectLocalSearch(b *testing.B) {
+	m := benchModel(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(m, Options{MaxPool: 16, LocalSearch: true})
+	}
+}
+
+func BenchmarkLookahead2(b *testing.B) {
+	m := benchModel(b, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectLookahead(m, 2, Options{MaxPool: 8})
+	}
+}

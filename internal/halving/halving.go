@@ -1,0 +1,211 @@
+// Package halving implements the Bayesian Halving Algorithm and its
+// look-ahead extensions — SBGT's test-selection kernel.
+//
+// The halving rule is the lattice-order analogue of binary search: among
+// admissible pools A, pick the one whose clean-pool posterior mass
+// P(S ∩ A = ∅ | data) is closest to ½, so that either outcome of the test
+// removes close to one bit of classification uncertainty. The Biostatistics
+// companion paper proves this rule converges at an optimal exponential rate
+// even under strong dilution.
+//
+// Candidate generation exploits the order structure: subjects are ranked by
+// marginal posterior risk, and the nested prefix pools of that ranking
+// sweep the clean mass monotonically from P(top-1 clean) down toward 0, so
+// the ½-crossing is bracketed by two adjacent prefixes. All prefixes are
+// scored by ONE histogram pass (PrefixNegMasses) and the singleton
+// fallbacks for free from the marginals — two lattice passes total,
+// independent of the candidate count. An optional local search then
+// perturbs the winning pool one subject at a time (one batched NegMasses
+// sweep).
+//
+// The package also provides the comparison strategies the evaluation plots
+// against (random pools, individual testing, Dorfman blocks) behind one
+// Strategy interface.
+package halving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/lattice"
+)
+
+// Options tunes the halving selector.
+type Options struct {
+	// MaxPool caps the number of specimens mixed into one physical test.
+	// Assay dilution limits make this 8–32 in practice. <= 0 means N.
+	MaxPool int
+	// LocalSearch enables the single-swap refinement pass around the best
+	// prefix pool (the A3 ablation toggles this).
+	LocalSearch bool
+}
+
+// Selection describes one chosen pool.
+type Selection struct {
+	Pool    bitvec.Mask // subjects to mix into the test
+	NegMass float64     // P(pool clean | data) at selection time
+	Score   float64     // |NegMass − ½|; lower is a better split
+	Scanned int         // candidate pools evaluated
+}
+
+// Posterior is the read surface the halving algorithm needs. Both the
+// dense engine-backed lattice.Model and the truncated sparse.Model
+// implement it, so selection runs unchanged on either representation.
+type Posterior interface {
+	N() int
+	Marginals() []float64
+	NegMasses(cands []bitvec.Mask) []float64
+	PrefixNegMasses(order []int) []float64
+}
+
+// Select runs the Bayesian Halving Algorithm on a dense lattice model.
+// It never returns an empty pool; for a fully certain posterior it
+// returns the best available split even though that split is far from ½.
+func Select(m *lattice.Model, opts Options) Selection {
+	return SelectOn(m, opts)
+}
+
+// SelectOn runs the Bayesian Halving Algorithm on any Posterior.
+func SelectOn(m Posterior, opts Options) Selection {
+	n := m.N()
+	maxPool := opts.MaxPool
+	if maxPool <= 0 || maxPool > n {
+		maxPool = n
+	}
+
+	marg := m.Marginals()
+	order := prefixOrder(marg, maxPool)
+	cands, masses := scoreCandidates(m, marg, order)
+	best := pickBest(cands, masses)
+	best.Scanned = len(cands)
+
+	if opts.LocalSearch {
+		best = localSearch(m, best, maxPool)
+	}
+	return best
+}
+
+// prefixOrder ranks the pool-eligible subjects for prefix candidates.
+//
+// A pool is clean only if every member is negative, so its clean mass is
+// bounded above by 1 − max_{i∈A} marginal_i: subjects with marginal ≥ ½
+// can never appear in a pool that splits at ½. The prefix order is the
+// sub-½ subjects ranked by marginal descending (each added member moves
+// the clean mass down the most per specimen), capped at the pool-size
+// limit. Ties break by index so selection is deterministic.
+func prefixOrder(marg []float64, maxPool int) []int {
+	order := make([]int, 0, len(marg))
+	for i := range marg {
+		if marg[i] < 0.5 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if marg[order[a]] != marg[order[b]] {
+			return marg[order[a]] > marg[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if len(order) > maxPool {
+		order = order[:maxPool]
+	}
+	return order
+}
+
+// scoreCandidates produces the candidate pools and their clean masses
+// using two lattice passes total, independent of the candidate count:
+// the nested prefixes of order come from one PrefixNegMasses histogram
+// pass, and every singleton's clean mass is 1 − marginal (free, from the
+// marginals already in hand). Singletons keep selection sane when all
+// subjects are already probably-positive. The only possible duplicate —
+// the size-1 prefix — is skipped in the singleton sweep.
+func scoreCandidates(m Posterior, marg []float64, order []int) ([]bitvec.Mask, []float64) {
+	n := len(marg)
+	cands := make([]bitvec.Mask, 0, len(order)+n)
+	masses := make([]float64, 0, len(order)+n)
+	var firstPrefix bitvec.Mask
+	if len(order) > 0 {
+		prefixMass := m.PrefixNegMasses(order)
+		var prefix bitvec.Mask
+		for i, subj := range order {
+			prefix = prefix.With(subj)
+			cands = append(cands, prefix)
+			masses = append(masses, prefixMass[i])
+		}
+		firstPrefix = cands[0]
+	}
+	for i := 0; i < n; i++ {
+		c := bitvec.FromIndices(i)
+		if c == firstPrefix {
+			continue
+		}
+		cands = append(cands, c)
+		masses = append(masses, 1-marg[i])
+	}
+	return cands, masses
+}
+
+// pickBest returns the candidate whose neg-mass is closest to ½; ties
+// resolve to the smaller pool (cheaper test), then lower mask.
+func pickBest(cands []bitvec.Mask, masses []float64) Selection {
+	best := Selection{Score: math.Inf(1)}
+	for i, c := range cands {
+		score := math.Abs(masses[i] - 0.5)
+		if score < best.Score ||
+			(score == best.Score && (c.Count() < best.Pool.Count() ||
+				(c.Count() == best.Pool.Count() && c < best.Pool))) {
+			best = Selection{Pool: c, NegMass: masses[i], Score: score}
+		}
+	}
+	return best
+}
+
+// localSearch tries replacing each member of the incumbent pool with each
+// non-member (bounded swap neighbourhood), plus single additions and
+// removals within the pool-size cap, accepting the best improvement. One
+// round only: the prefix seed is already near the optimum, and each round
+// costs a full lattice sweep.
+func localSearch(m Posterior, best Selection, maxPool int) Selection {
+	n := m.N()
+	var cands []bitvec.Mask
+	// Additions.
+	if best.Pool.Count() < maxPool {
+		for i := 0; i < n; i++ {
+			if !best.Pool.Has(i) {
+				cands = append(cands, best.Pool.With(i))
+			}
+		}
+	}
+	// Removals.
+	if best.Pool.Count() > 1 {
+		for _, i := range best.Pool.Indices() {
+			cands = append(cands, best.Pool.Without(i))
+		}
+	}
+	// Swaps.
+	for _, out := range best.Pool.Indices() {
+		for in := 0; in < n; in++ {
+			if !best.Pool.Has(in) {
+				cands = append(cands, best.Pool.Without(out).With(in))
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return best
+	}
+	masses := m.NegMasses(cands)
+	cand := pickBest(cands, masses)
+	cand.Scanned = best.Scanned + len(cands)
+	if cand.Score < best.Score {
+		return cand
+	}
+	best.Scanned = cand.Scanned
+	return best
+}
+
+// String renders a selection for logs.
+func (s Selection) String() string {
+	return fmt.Sprintf("pool %v (|A|=%d, clean mass %.4f, scanned %d)", s.Pool, s.Pool.Count(), s.NegMass, s.Scanned)
+}

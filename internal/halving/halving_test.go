@@ -1,0 +1,272 @@
+package halving
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/lattice"
+	"repro/internal/rng"
+)
+
+func newModel(t *testing.T, risks []float64, resp dilution.Response) *lattice.Model {
+	t.Helper()
+	pool := engine.NewPool(4)
+	t.Cleanup(pool.Close)
+	m, err := lattice.New(pool, lattice.Config{Risks: risks, Response: resp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func uniform(n int, p float64) []float64 {
+	rs := make([]float64, n)
+	for i := range rs {
+		rs[i] = p
+	}
+	return rs
+}
+
+func TestSelectSplitsUniformPrior(t *testing.T) {
+	// With risk 0.5 each, P(pool of size 1 clean) = 0.5 exactly: the
+	// perfect split is a single subject.
+	m := newModel(t, uniform(8, 0.5), dilution.Ideal{})
+	sel := Select(m, Options{})
+	if sel.Pool.Count() != 1 {
+		t.Fatalf("selected %v, want a singleton", sel.Pool)
+	}
+	if math.Abs(sel.NegMass-0.5) > 1e-12 || sel.Score > 1e-12 {
+		t.Fatalf("split quality: negmass=%v score=%v", sel.NegMass, sel.Score)
+	}
+}
+
+func TestSelectLowPrevalencePoolsWide(t *testing.T) {
+	// Low risk: (1-p)^k crosses 1/2 around k = ln2/p; halving should pick
+	// a pool of about that size.
+	p := 0.05
+	m := newModel(t, uniform(20, p), dilution.Ideal{})
+	sel := Select(m, Options{})
+	want := math.Ln2 / p // ≈ 13.9 — with discrete sizes, 13 or 14
+	if got := float64(sel.Pool.Count()); math.Abs(got-want) > 1.0 {
+		t.Fatalf("pool size %v, want ≈ %.1f", got, want)
+	}
+	if sel.Score > 0.05 {
+		t.Fatalf("split score %v too far from 1/2", sel.Score)
+	}
+}
+
+func TestSelectRespectsMaxPool(t *testing.T) {
+	m := newModel(t, uniform(20, 0.02), dilution.Ideal{})
+	sel := Select(m, Options{MaxPool: 8})
+	if sel.Pool.Count() > 8 {
+		t.Fatalf("pool %v exceeds MaxPool", sel.Pool)
+	}
+	// Unconstrained, the same prior wants a much larger pool.
+	selFree := Select(m, Options{})
+	if selFree.Pool.Count() <= 8 {
+		t.Fatalf("unconstrained pool only %d wide", selFree.Pool.Count())
+	}
+}
+
+func TestSelectPrefersHighRiskSubjects(t *testing.T) {
+	// One very high-risk subject: it alone is the best ~1/2 split.
+	risks := uniform(10, 0.01)
+	risks[7] = 0.5
+	m := newModel(t, risks, dilution.Ideal{})
+	sel := Select(m, Options{})
+	if !sel.Pool.Has(7) {
+		t.Fatalf("selection %v ignores the risky subject", sel.Pool)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	m := newModel(t, uniform(12, 0.08), dilution.Ideal{})
+	first := Select(m, Options{LocalSearch: true})
+	for i := 0; i < 5; i++ {
+		if got := Select(m, Options{LocalSearch: true}); got.Pool != first.Pool {
+			t.Fatalf("run %d selected %v, first run %v", i, got.Pool, first.Pool)
+		}
+	}
+}
+
+func TestLocalSearchNeverWorse(t *testing.T) {
+	// Construct a correlated posterior where prefix pools are suboptimal:
+	// after a positive on {0,1}, mass concentrates on states containing 0
+	// or 1.
+	m := newModel(t, uniform(10, 0.1), dilution.Binary{Sens: 0.95, Spec: 0.98})
+	if err := m.Update(bitvec.FromIndices(0, 1), dilution.Positive); err != nil {
+		t.Fatal(err)
+	}
+	plain := Select(m, Options{})
+	ls := Select(m, Options{LocalSearch: true})
+	if ls.Score > plain.Score+1e-15 {
+		t.Fatalf("local search worsened score: %v -> %v", plain.Score, ls.Score)
+	}
+	if ls.Scanned <= plain.Scanned {
+		t.Fatalf("local search scanned %d <= plain %d", ls.Scanned, plain.Scanned)
+	}
+}
+
+func TestSelectOnCertainPosterior(t *testing.T) {
+	// Drive the posterior to near-certainty, then ask for a selection:
+	// it must still return a nonempty pool without panicking.
+	m := newModel(t, uniform(4, 0.3), dilution.Ideal{})
+	for _, i := range []int{0, 1, 2, 3} {
+		if err := m.Update(bitvec.FromIndices(i), dilution.Negative); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel := Select(m, Options{})
+	if sel.Pool == 0 {
+		t.Fatal("empty selection on certain posterior")
+	}
+}
+
+func TestSelectionString(t *testing.T) {
+	s := Selection{Pool: bitvec.FromIndices(1, 2), NegMass: 0.5, Scanned: 3}
+	if got := s.String(); got == "" {
+		t.Error("empty Selection.String()")
+	}
+}
+
+func TestHalvingReducesEntropyFasterThanRandom(t *testing.T) {
+	// Run 6 selection/update rounds with simulated truth and compare
+	// entropy trajectories. Halving must dominate random pooling.
+	run := func(strat Strategy, seed uint64) float64 {
+		m := newModel(t, uniform(10, 0.15), dilution.Ideal{})
+		r := rng.New(seed)
+		truth := bitvec.Mask(0)
+		for i := 0; i < 10; i++ {
+			if r.Bernoulli(0.15) {
+				truth = truth.With(i)
+			}
+		}
+		for round := 0; round < 6; round++ {
+			pool := strat.Next(m)
+			k := truth.IntersectCount(pool)
+			y := m.Response().Sample(r, k, pool.Count())
+			if err := m.Update(pool, y); err != nil {
+				t.Fatalf("%s: %v", strat.Name(), err)
+			}
+		}
+		return m.Entropy()
+	}
+	var hSum, rSum float64
+	const reps = 10
+	for rep := uint64(0); rep < reps; rep++ {
+		hSum += run(Halving{}, rep)
+		rSum += run(Random{Size: 5, Rng: rng.New(1000 + rep)}, rep)
+	}
+	if hSum/reps >= rSum/reps {
+		t.Fatalf("halving mean entropy %.3f not below random %.3f", hSum/reps, rSum/reps)
+	}
+}
+
+func TestExpectedEntropyAfterIsReduction(t *testing.T) {
+	m := newModel(t, uniform(8, 0.2), dilution.Ideal{})
+	before := m.Entropy()
+	sel := Select(m, Options{})
+	after := ExpectedEntropyAfter(m, sel.Pool)
+	if after >= before {
+		t.Fatalf("expected entropy %v did not drop from %v", after, before)
+	}
+	// A near-perfect split removes close to one bit.
+	if before-after < 0.5 {
+		t.Fatalf("halving removed only %v bits in expectation", before-after)
+	}
+}
+
+func TestSelectLookaheadDepths(t *testing.T) {
+	m := newModel(t, uniform(10, 0.1), dilution.Ideal{})
+	sels := SelectLookahead(m, 3, Options{MaxPool: 6})
+	if len(sels) != 3 {
+		t.Fatalf("got %d selections, want 3", len(sels))
+	}
+	for i, s := range sels {
+		if s.Pool == 0 {
+			t.Fatalf("selection %d empty", i)
+		}
+		if s.Pool.Count() > 6 {
+			t.Fatalf("selection %d exceeds MaxPool: %v", i, s.Pool)
+		}
+	}
+	// Depth 1 equals plain halving.
+	one := SelectLookahead(m, 1, Options{MaxPool: 6})
+	plain := Select(m, Options{MaxPool: 6})
+	if one[0].Pool != plain.Pool {
+		t.Fatalf("lookahead depth 1 chose %v, plain %v", one[0].Pool, plain.Pool)
+	}
+	// Invalid depth coerces to 1.
+	if got := SelectLookahead(m, 0, Options{}); len(got) != 1 {
+		t.Fatalf("depth 0 returned %d selections", len(got))
+	}
+}
+
+func TestSelectLookaheadDistinctStagePools(t *testing.T) {
+	// Look-ahead pools in the same stage should not be identical: a
+	// repeated pool answers a question already asked.
+	m := newModel(t, uniform(12, 0.15), dilution.Ideal{})
+	sels := SelectLookahead(m, 2, Options{})
+	if sels[0].Pool == sels[1].Pool {
+		t.Fatalf("stage repeats pool %v", sels[0].Pool)
+	}
+}
+
+func TestRandomStrategy(t *testing.T) {
+	m := newModel(t, uniform(9, 0.2), dilution.Ideal{})
+	r := Random{Size: 4, Rng: rng.New(5)}
+	p := r.Next(m)
+	if p.Count() != 4 {
+		t.Fatalf("random pool size %d", p.Count())
+	}
+	if !p.SubsetOf(bitvec.Full(9)) {
+		t.Fatalf("random pool %v outside cohort", p)
+	}
+	// Default size when Size invalid.
+	r2 := Random{Rng: rng.New(5)}
+	if got := r2.Next(m).Count(); got != 5 {
+		t.Fatalf("default random size %d, want (n+1)/2", got)
+	}
+}
+
+func TestIndividualStrategy(t *testing.T) {
+	risks := []float64{0.1, 0.48, 0.9}
+	m := newModel(t, risks, dilution.Ideal{})
+	p := Individual{}.Next(m)
+	if p != bitvec.FromIndices(1) {
+		t.Fatalf("individual chose %v, want subject 1 (closest to 1/2)", p)
+	}
+	if p.Count() != 1 {
+		t.Fatal("individual pool not singleton")
+	}
+}
+
+func TestDorfmanCyclesBlocks(t *testing.T) {
+	m := newModel(t, uniform(10, 0.1), dilution.Ideal{})
+	d := &Dorfman{BlockSize: 4}
+	seen := bitvec.Mask(0)
+	for i := 0; i < 3; i++ {
+		p := d.Next(m)
+		if p.Count() == 0 || p.Count() > 4 {
+			t.Fatalf("block %d size %d", i, p.Count())
+		}
+		seen = seen.Join(p)
+	}
+	// Three blocks of 4 over 10 subjects wrap and cover everyone.
+	if seen != bitvec.Full(10) {
+		t.Fatalf("blocks covered %v", seen)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	m := newModel(t, uniform(4, 0.2), dilution.Ideal{})
+	_ = m
+	for _, s := range []Strategy{Halving{}, Halving{Opts: Options{LocalSearch: true}}, Random{Size: 2, Rng: rng.New(1)}, Individual{}, &Dorfman{BlockSize: 2}} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package halving
+
+import (
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/lattice"
+)
+
+// SelectLookahead chooses depth pools to run *in the same stage*, before
+// any of their outcomes is known — the look-ahead rules of the companion
+// paper, which trade a few extra tests for fewer sequential stages (each
+// stage is a lab round-trip).
+//
+// The rule is greedy-marginal: the first pool is the plain halving choice;
+// pool t+1 is the halving choice on the *predictive mixture* over the 2^t
+// outcome combinations of the already-chosen pools, i.e. it must split well
+// in expectation across everything the earlier tests might say. The mixture
+// is evaluated exactly by enumerating outcome vectors on cloned models,
+// weighting each clone by its predictive probability.
+//
+// Only binary-outcome responses can be enumerated this way; continuous
+// responses (CtValue) fall back to their positive/negative dichotomy, which
+// is the information the halving criterion consumes anyway.
+func SelectLookahead(m *lattice.Model, depth int, opts Options) []Selection {
+	if depth < 1 {
+		depth = 1
+	}
+	n := m.N()
+	maxPool := opts.MaxPool
+	if maxPool <= 0 || maxPool > n {
+		maxPool = n
+	}
+
+	// branches holds the outcome-conditioned models with their predictive
+	// weights; it starts as the single unconditioned posterior.
+	type branch struct {
+		model  *lattice.Model
+		weight float64
+	}
+	branches := []branch{{model: m, weight: 1}}
+	selections := make([]Selection, 0, depth)
+
+	for t := 0; t < depth; t++ {
+		// Candidate pools come from the mixture marginals; keep each
+		// branch's marginals for the singleton fast path below.
+		branchMarg := make([][]float64, len(branches))
+		marg := make([]float64, n)
+		for bi, b := range branches {
+			bm := b.model.Marginals()
+			branchMarg[bi] = bm
+			for i := range marg {
+				marg[i] += b.weight * bm[i]
+			}
+		}
+		order := prefixOrder(marg, maxPool)
+
+		// Build the shared candidate list (nested prefixes + singletons,
+		// deduped at the size-1 prefix) and score it per branch with the
+		// same two-pass trick Select uses: one PrefixNegMasses histogram
+		// pass per branch, singleton masses free from that branch's
+		// marginals. Scores mix by predictive weight:
+		// Σ_b w_b · |P_b(clean) − ½|.
+		var cands []bitvec.Mask
+		var firstPrefix bitvec.Mask
+		var prefix bitvec.Mask
+		for _, subj := range order {
+			prefix = prefix.With(subj)
+			cands = append(cands, prefix)
+		}
+		if len(cands) > 0 {
+			firstPrefix = cands[0]
+		}
+		singletonStart := len(cands)
+		for i := 0; i < n; i++ {
+			if c := bitvec.FromIndices(i); c != firstPrefix {
+				cands = append(cands, c)
+			}
+		}
+		scores := make([]float64, len(cands))
+		negUnderMix := make([]float64, len(cands))
+		for bi, b := range branches {
+			var prefixMass []float64
+			if len(order) > 0 {
+				prefixMass = b.model.PrefixNegMasses(order)
+			}
+			ci := 0
+			for ; ci < singletonStart; ci++ {
+				mass := prefixMass[ci]
+				scores[ci] += b.weight * math.Abs(mass-0.5)
+				negUnderMix[ci] += b.weight * mass
+			}
+			for ; ci < len(cands); ci++ {
+				mass := 1 - branchMarg[bi][cands[ci].Lowest()]
+				scores[ci] += b.weight * math.Abs(mass-0.5)
+				negUnderMix[ci] += b.weight * mass
+			}
+		}
+		best := Selection{Score: math.Inf(1)}
+		for i, c := range cands {
+			if scores[i] < best.Score ||
+				(scores[i] == best.Score && c.Count() < best.Pool.Count()) {
+				best = Selection{Pool: c, NegMass: negUnderMix[i], Score: scores[i], Scanned: len(cands) * len(branches)}
+			}
+		}
+		selections = append(selections, best)
+		if t == depth-1 {
+			break
+		}
+
+		// Expand every branch by the two outcomes of the chosen pool.
+		next := make([]branch, 0, 2*len(branches))
+		for _, b := range branches {
+			for _, y := range []dilution.Outcome{dilution.Negative, dilution.Positive} {
+				w := b.model.Predictive(best.Pool, y)
+				if w*b.weight < 1e-12 {
+					continue // outcome (near-)impossible on this branch
+				}
+				c := b.model.Clone()
+				if err := c.Update(best.Pool, y); err != nil {
+					continue
+				}
+				next = append(next, branch{model: c, weight: b.weight * w})
+			}
+		}
+		if len(next) == 0 {
+			break // posterior is degenerate; no further look-ahead possible
+		}
+		branches = next
+	}
+	return selections
+}
+
+// ExpectedEntropyAfter returns the expected posterior entropy (bits) after
+// observing the binary outcome of a test on pool: Σ_y P(y)·H(π | y). It is
+// the information-theoretic yardstick experiment F4 tracks alongside the
+// halving score, and is exact for binary responses.
+func ExpectedEntropyAfter(m *lattice.Model, pool bitvec.Mask) float64 {
+	var expected float64
+	for _, y := range []dilution.Outcome{dilution.Negative, dilution.Positive} {
+		w := m.Predictive(pool, y)
+		if w < 1e-15 {
+			continue
+		}
+		c := m.Clone()
+		if err := c.Update(pool, y); err != nil {
+			continue
+		}
+		expected += w * c.Entropy()
+	}
+	return expected
+}

@@ -1,0 +1,114 @@
+package halving
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/lattice"
+	"repro/internal/rng"
+)
+
+// Strategy chooses the next pool to test given the current posterior.
+// Implementations must return a nonempty pool within the cohort; the
+// surveillance loop treats the returned pool as the next physical test.
+type Strategy interface {
+	Next(m *lattice.Model) bitvec.Mask
+	Name() string
+}
+
+// Halving is the Bayesian Halving Algorithm as a Strategy.
+type Halving struct {
+	Opts Options
+}
+
+// Next implements Strategy.
+func (h Halving) Next(m *lattice.Model) bitvec.Mask {
+	return Select(m, h.Opts).Pool
+}
+
+// Name implements Strategy.
+func (h Halving) Name() string {
+	if h.Opts.LocalSearch {
+		return "halving+ls"
+	}
+	return "halving"
+}
+
+// Random tests a uniformly random pool of fixed size — the uninformed
+// comparison arm in the convergence experiment. It is deterministic for a
+// fixed Source.
+type Random struct {
+	Size int
+	Rng  *rng.Source
+}
+
+// Next implements Strategy.
+func (r Random) Next(m *lattice.Model) bitvec.Mask {
+	n := m.N()
+	size := r.Size
+	if size <= 0 || size > n {
+		size = (n + 1) / 2
+	}
+	perm := r.Rng.Perm(n)
+	var pool bitvec.Mask
+	for _, i := range perm[:size] {
+		pool = pool.With(i)
+	}
+	return pool
+}
+
+// Name implements Strategy.
+func (r Random) Name() string { return fmt.Sprintf("random-%d", r.Size) }
+
+// Individual always tests a single subject: the one whose marginal is
+// closest to ½ (the most informative individual test). With every pool of
+// size one, it is the no-pooling baseline group testing is measured
+// against.
+type Individual struct{}
+
+// Next implements Strategy.
+func (Individual) Next(m *lattice.Model) bitvec.Mask {
+	marg := m.Marginals()
+	best, bestDist := 0, 2.0
+	for i, g := range marg {
+		d := g - 0.5
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return bitvec.FromIndices(best)
+}
+
+// Name implements Strategy.
+func (Individual) Name() string { return "individual" }
+
+// Dorfman cycles through fixed disjoint blocks of the cohort, the classic
+// two-stage pooling design: it ignores the posterior when choosing blocks,
+// so the gap between it and Halving isolates the value of adaptivity.
+type Dorfman struct {
+	BlockSize int
+	next      int
+}
+
+// Next implements Strategy. It returns the next block in round-robin
+// order, sized BlockSize (last block may be smaller).
+func (d *Dorfman) Next(m *lattice.Model) bitvec.Mask {
+	n := m.N()
+	bs := d.BlockSize
+	if bs <= 0 || bs > n {
+		bs = n
+	}
+	start := d.next % n
+	var pool bitvec.Mask
+	for i := 0; i < bs; i++ {
+		pool = pool.With((start + i) % n)
+	}
+	d.next = (start + bs) % n
+	return pool
+}
+
+// Name implements Strategy.
+func (d *Dorfman) Name() string { return fmt.Sprintf("dorfman-%d", d.BlockSize) }

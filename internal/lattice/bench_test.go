@@ -1,0 +1,108 @@
+package lattice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+)
+
+// flatResp has likelihood ½ everywhere, keeping the posterior a fixed
+// point across thousands of benchmark updates (an informative response
+// would concentrate it into denormal-range tails and measure denormal
+// arithmetic instead of the kernel).
+var flatResp = dilution.Binary{Sens: 0.5, Spec: 0.5}
+
+func benchLattice(b *testing.B, n int, resp dilution.Response) *Model {
+	b.Helper()
+	pool := engine.NewPool(0)
+	b.Cleanup(pool.Close)
+	risks := make([]float64, n)
+	for i := range risks {
+		risks[i] = 0.05
+	}
+	m, err := New(pool, Config{Risks: risks, Response: resp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkUpdateBySize(b *testing.B) {
+	for _, n := range []int{12, 16, 20} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			m := benchLattice(b, n, flatResp)
+			pm := bitvec.Full(min(n, 16))
+			ys := []dilution.Outcome{dilution.Negative, dilution.Positive}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Update(pm, ys[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMarginals(b *testing.B) {
+	m := benchLattice(b, 18, flatResp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Marginals()
+	}
+}
+
+// BenchmarkSelectionScan compares the one-pass prefix scan against the
+// equivalent batched per-candidate scan — the per-core heart of the T2
+// speedup.
+func BenchmarkSelectionScan(b *testing.B) {
+	m := benchLattice(b, 18, flatResp)
+	order := make([]int, 18)
+	for i := range order {
+		order[i] = i
+	}
+	cands := make([]bitvec.Mask, 18)
+	var prefix bitvec.Mask
+	for i := range cands {
+		prefix = prefix.With(i)
+		cands[i] = prefix
+	}
+	b.Run("prefix-histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.PrefixNegMasses(order)
+		}
+	})
+	b.Run("per-candidate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.NegMasses(cands)
+		}
+	})
+}
+
+func BenchmarkIntersectDist(b *testing.B) {
+	m := benchLattice(b, 18, flatResp)
+	pm := bitvec.Full(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.IntersectDist(pm)
+	}
+}
+
+func BenchmarkCondition(b *testing.B) {
+	m := benchLattice(b, 16, flatResp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := m.Condition(3, false); c == nil {
+			b.Fatal("condition failed")
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

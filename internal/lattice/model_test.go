@@ -1,0 +1,311 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+)
+
+func newTestPool(t *testing.T) *engine.Pool {
+	t.Helper()
+	p := engine.NewPool(4)
+	t.Cleanup(p.Close)
+	return p
+}
+
+func uniformRisks(n int, p float64) []float64 {
+	rs := make([]float64, n)
+	for i := range rs {
+		rs[i] = p
+	}
+	return rs
+}
+
+func mustNew(t *testing.T, pool *engine.Pool, cfg Config) *Model {
+	t.Helper()
+	m, err := New(pool, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	pool := newTestPool(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty cohort", Config{Risks: nil, Response: dilution.Ideal{}}},
+		{"too large", Config{Risks: uniformRisks(31, 0.1), Response: dilution.Ideal{}}},
+		{"nil response", Config{Risks: uniformRisks(4, 0.1)}},
+		{"risk zero", Config{Risks: []float64{0.1, 0}, Response: dilution.Ideal{}}},
+		{"risk one", Config{Risks: []float64{0.1, 1}, Response: dilution.Ideal{}}},
+		{"risk NaN", Config{Risks: []float64{math.NaN()}, Response: dilution.Ideal{}}},
+	}
+	for _, c := range cases {
+		if _, err := New(pool, c.cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestPriorIsProductMeasure(t *testing.T) {
+	pool := newTestPool(t)
+	risks := []float64{0.1, 0.3, 0.05, 0.2}
+	m := mustNew(t, pool, Config{Risks: risks, Response: dilution.Ideal{}})
+	if m.N() != 4 || m.States() != 16 {
+		t.Fatalf("N=%d states=%d", m.N(), m.States())
+	}
+	for s := bitvec.Mask(0); s < 16; s++ {
+		want := 1.0
+		for i := 0; i < 4; i++ {
+			if s.Has(i) {
+				want *= risks[i]
+			} else {
+				want *= 1 - risks[i]
+			}
+		}
+		if got := m.StateMass(s); math.Abs(got-want) > 1e-14 {
+			t.Fatalf("prior(%v) = %v, want %v", s, got, want)
+		}
+	}
+	if got := m.Mass(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("prior mass = %v", got)
+	}
+}
+
+func TestPriorMarginalsMatchRisks(t *testing.T) {
+	pool := newTestPool(t)
+	risks := []float64{0.02, 0.5, 0.13, 0.4, 0.07, 0.25}
+	m := mustNew(t, pool, Config{Risks: risks, Response: dilution.Ideal{}})
+	marg := m.Marginals()
+	for i, p := range risks {
+		if math.Abs(marg[i]-p) > 1e-12 {
+			t.Errorf("marginal[%d] = %v, want %v", i, marg[i], p)
+		}
+	}
+}
+
+func TestUpdateIdealNegativeClearsPool(t *testing.T) {
+	pool := newTestPool(t)
+	m := mustNew(t, pool, Config{Risks: uniformRisks(6, 0.2), Response: dilution.Ideal{}})
+	poolMask := bitvec.FromIndices(0, 1, 2)
+	if err := m.Update(poolMask, dilution.Negative); err != nil {
+		t.Fatal(err)
+	}
+	marg := m.Marginals()
+	for i := 0; i < 3; i++ {
+		if marg[i] != 0 {
+			t.Errorf("marginal[%d] = %v after ideal negative", i, marg[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if math.Abs(marg[i]-0.2) > 1e-12 {
+			t.Errorf("untested marginal[%d] = %v, want 0.2", i, marg[i])
+		}
+	}
+	if got := m.Mass(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("mass = %v after update", got)
+	}
+	if m.Tests() != 1 {
+		t.Errorf("Tests = %d", m.Tests())
+	}
+}
+
+func TestUpdateIdealPositiveRaisesMarginals(t *testing.T) {
+	pool := newTestPool(t)
+	m := mustNew(t, pool, Config{Risks: uniformRisks(5, 0.1), Response: dilution.Ideal{}})
+	poolMask := bitvec.FromIndices(1, 3)
+	if err := m.Update(poolMask, dilution.Positive); err != nil {
+		t.Fatal(err)
+	}
+	marg := m.Marginals()
+	// P(i | pool positive) = p / P(pool has a positive); with p=0.1 each,
+	// P(pos) = 1 - 0.9^2 = 0.19, so marginal = 0.1/0.19.
+	want := 0.1 / 0.19
+	for _, i := range []int{1, 3} {
+		if math.Abs(marg[i]-want) > 1e-12 {
+			t.Errorf("marginal[%d] = %v, want %v", i, marg[i], want)
+		}
+	}
+	for _, i := range []int{0, 2, 4} {
+		if math.Abs(marg[i]-0.1) > 1e-12 {
+			t.Errorf("outside-pool marginal[%d] = %v, want 0.1", i, marg[i])
+		}
+	}
+}
+
+func TestUpdateMatchesBayesByHand(t *testing.T) {
+	// Two subjects, noisy binary test on subject 0 alone.
+	pool := newTestPool(t)
+	resp := dilution.Binary{Sens: 0.8, Spec: 0.95}
+	m := mustNew(t, pool, Config{Risks: []float64{0.3, 0.5}, Response: resp})
+	if err := m.Update(bitvec.FromIndices(0), dilution.Positive); err != nil {
+		t.Fatal(err)
+	}
+	// P(+|infected)=0.8, P(+|clean)=0.05.
+	wantPost := (0.3 * 0.8) / (0.3*0.8 + 0.7*0.05)
+	marg := m.Marginals()
+	if math.Abs(marg[0]-wantPost) > 1e-12 {
+		t.Fatalf("posterior[0] = %v, want %v", marg[0], wantPost)
+	}
+	if math.Abs(marg[1]-0.5) > 1e-12 {
+		t.Fatalf("posterior[1] = %v, want unchanged 0.5", marg[1])
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	pool := newTestPool(t)
+	m := mustNew(t, pool, Config{Risks: uniformRisks(4, 0.1), Response: dilution.Ideal{}})
+	if err := m.Update(0, dilution.Positive); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if err := m.Update(bitvec.FromIndices(5), dilution.Positive); err == nil {
+		t.Error("out-of-cohort pool accepted")
+	}
+	if m.Tests() != 0 {
+		t.Errorf("failed updates incremented Tests to %d", m.Tests())
+	}
+}
+
+func TestUpdateZeroLikelihoodRejectedAndStateRecoverable(t *testing.T) {
+	pool := newTestPool(t)
+	m := mustNew(t, pool, Config{Risks: uniformRisks(3, 0.2), Response: dilution.Ideal{}})
+	pm := bitvec.FromIndices(0, 1, 2)
+	if err := m.Update(pm, dilution.Negative); err != nil {
+		t.Fatal(err)
+	}
+	// All subjects now certainly negative; a positive on the same pool is
+	// impossible under the ideal response.
+	if err := m.Update(pm, dilution.Positive); err == nil {
+		t.Fatal("impossible outcome accepted")
+	}
+	// The failed update zeroed the working vector; the error contract says
+	// the model is unusable only for that observation — mass must still be
+	// renormalizable by the caller discarding. Here we just document that
+	// the failure is detected and Tests was not incremented.
+	if m.Tests() != 1 {
+		t.Errorf("Tests = %d after rejected update", m.Tests())
+	}
+}
+
+func TestUpdateTwoPassMatchesFused(t *testing.T) {
+	pool := newTestPool(t)
+	resp := dilution.Hyperbolic{MaxSens: 0.95, Spec: 0.98, D: 0.3}
+	a := mustNew(t, pool, Config{Risks: uniformRisks(8, 0.15), Response: resp})
+	b := a.Clone()
+	pm := bitvec.FromIndices(0, 2, 4, 6)
+	if err := a.Update(pm, dilution.Positive); err != nil {
+		t.Fatal(err)
+	}
+	b.UpdateTwoPass(pm, dilution.Positive)
+	for s := uint64(0); s < a.States(); s++ {
+		x, y := a.StateMass(bitvec.Mask(s)), b.StateMass(bitvec.Mask(s))
+		if math.Abs(x-y) > 1e-14*math.Max(1, x) {
+			t.Fatalf("state %d: fused %v vs two-pass %v", s, x, y)
+		}
+	}
+}
+
+func TestSequentialUpdatesConsistent(t *testing.T) {
+	// Order of conditionally independent test outcomes must not matter.
+	pool := newTestPool(t)
+	resp := dilution.Binary{Sens: 0.9, Spec: 0.97}
+	mk := func() *Model {
+		return mustNew(t, pool, Config{Risks: uniformRisks(6, 0.2), Response: resp})
+	}
+	pa, pb := bitvec.FromIndices(0, 1, 2), bitvec.FromIndices(3, 4)
+	m1 := mk()
+	if err := m1.Update(pa, dilution.Positive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Update(pb, dilution.Negative); err != nil {
+		t.Fatal(err)
+	}
+	m2 := mk()
+	if err := m2.Update(pb, dilution.Negative); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Update(pa, dilution.Positive); err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := m1.Marginals(), m2.Marginals()
+	for i := range g1 {
+		if math.Abs(g1[i]-g2[i]) > 1e-12 {
+			t.Fatalf("order dependence at subject %d: %v vs %v", i, g1[i], g2[i])
+		}
+	}
+}
+
+func TestAccessorsAndRestore(t *testing.T) {
+	pool := newTestPool(t)
+	risks := []float64{0.1, 0.3, 0.2}
+	resp := dilution.Binary{Sens: 0.9, Spec: 0.98}
+	m := mustNew(t, pool, Config{Risks: risks, Response: resp})
+	if m.Response().Name() != resp.Name() {
+		t.Errorf("Response = %s", m.Response().Name())
+	}
+	got := m.Risks()
+	got[0] = 0.9 // must be a copy
+	if m.Risks()[0] != 0.1 {
+		t.Error("Risks aliases internal state")
+	}
+	if m.Posterior().Len() != 8 {
+		t.Errorf("Posterior len %d", m.Posterior().Len())
+	}
+	// Round-trip through Restore.
+	if err := m.Update(bitvec.FromIndices(0, 1), dilution.Positive); err != nil {
+		t.Fatal(err)
+	}
+	post := m.Posterior().Slice()
+	r, err := Restore(pool, Config{Risks: risks, Response: resp}, post, m.Tests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tests() != m.Tests() {
+		t.Errorf("restored Tests = %d", r.Tests())
+	}
+	for s := bitvec.Mask(0); s < 8; s++ {
+		if math.Abs(r.StateMass(s)-m.StateMass(s)) > 1e-15 {
+			t.Fatalf("state %v: %v vs %v", s, r.StateMass(s), m.StateMass(s))
+		}
+	}
+	// Restore validation.
+	if _, err := Restore(pool, Config{Risks: risks, Response: resp}, post[:4], 0); err == nil {
+		t.Error("short posterior accepted")
+	}
+	bad := append([]float64(nil), post...)
+	bad[2] = math.NaN()
+	if _, err := Restore(pool, Config{Risks: risks, Response: resp}, bad, 0); err == nil {
+		t.Error("NaN posterior accepted")
+	}
+	zero := make([]float64, 8)
+	if _, err := Restore(pool, Config{Risks: risks, Response: resp}, zero, 0); err == nil {
+		t.Error("zero-mass posterior accepted")
+	}
+	if _, err := Restore(pool, Config{Risks: risks, Response: resp}, post, -1); err == nil {
+		t.Error("negative test count accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	pool := newTestPool(t)
+	m := mustNew(t, pool, Config{Risks: uniformRisks(5, 0.2), Response: dilution.Ideal{}})
+	c := m.Clone()
+	if err := c.Update(bitvec.FromIndices(0, 1), dilution.Negative); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Marginals()[0]; math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("original mutated by clone update: %v", got)
+	}
+	if got := c.Marginals()[0]; got != 0 {
+		t.Fatalf("clone not updated: %v", got)
+	}
+	if c.Tests() != 1 || m.Tests() != 0 {
+		t.Error("test counters entangled")
+	}
+}

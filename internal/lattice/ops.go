@@ -1,0 +1,270 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/prob"
+)
+
+// Marginals returns each subject's posterior infection probability,
+// P(i infected | data) = Σ_{S ∋ i} π(S), computed for all N subjects in a
+// single parallel ReduceVec pass over the lattice.
+func (m *Model) Marginals() []float64 {
+	return m.post.ReduceVec(m.n, func(_ int, offset uint64, data []float64, out []float64) {
+		for j := range data {
+			w := data[j]
+			if w == 0 {
+				continue
+			}
+			for v := offset + uint64(j); v != 0; v &= v - 1 {
+				out[bits.TrailingZeros64(v)] += w
+			}
+		}
+	})
+}
+
+// NegMass returns P(S ∩ pool = ∅ | data): the posterior mass of the up-set
+// of states in which the pool would contain no infected specimen. This is
+// the quantity the Bayesian Halving Algorithm drives to ½.
+func (m *Model) NegMass(pool bitvec.Mask) float64 {
+	pm := uint64(pool)
+	return m.post.ReduceSum(func(_ int, offset uint64, data []float64) prob.Accumulator {
+		var acc prob.Accumulator
+		for j := range data {
+			if (offset+uint64(j))&pm == 0 {
+				acc.Add(data[j])
+			}
+		}
+		return acc
+	})
+}
+
+// NegMasses evaluates NegMass for every candidate pool in one parallel
+// sweep over the partitions — the SBGT test-selection scan. Within a
+// partition the candidate loop is outermost so each candidate accumulates
+// in a register over a sequential data pass; the partition (not the whole
+// lattice) is what gets re-read per candidate, so the working set stays
+// cache-resident — the batching win over the baseline's C full-vector
+// passes.
+func (m *Model) NegMasses(cands []bitvec.Mask) []float64 {
+	if len(cands) == 0 {
+		return nil
+	}
+	masks := make([]uint64, len(cands))
+	for i, c := range cands {
+		masks[i] = uint64(c)
+	}
+	return m.post.ReduceVec(len(cands), func(_ int, offset uint64, data []float64, out []float64) {
+		for c, pm := range masks {
+			var acc float64
+			for j := range data {
+				if (offset+uint64(j))&pm == 0 {
+					acc += data[j]
+				}
+			}
+			out[c] = acc
+		}
+	})
+}
+
+// PrefixNegMasses returns the clean-pool masses of every nested prefix of
+// the given subject ordering: element i is P(S ∩ {order[0..i]} = ∅ | data).
+//
+// The prefixes are nested, so one lattice pass suffices: a state is clean
+// for prefix i exactly when the minimum order-rank among its infected
+// subjects exceeds i. The pass histograms posterior mass by that minimum
+// rank; suffix sums of the histogram are the prefix masses. This replaces
+// the len(order) separate scans a direct implementation needs and is the
+// algorithmic core of SBGT's fast test selection. Subjects may appear in
+// order at most once; duplicates panic.
+func (m *Model) PrefixNegMasses(order []int) []float64 {
+	k := len(order)
+	if k == 0 {
+		return nil
+	}
+	var rank [64]uint8
+	for i := range rank {
+		rank[i] = uint8(k)
+	}
+	for r, subj := range order {
+		if subj < 0 || subj >= m.n {
+			panic(fmt.Sprintf("lattice: order subject %d outside cohort of %d", subj, m.n))
+		}
+		if rank[subj] != uint8(k) {
+			panic(fmt.Sprintf("lattice: duplicate subject %d in order", subj))
+		}
+		rank[subj] = uint8(r)
+	}
+	hist := m.post.ReduceVec(k+1, func(_ int, offset uint64, data []float64, out []float64) {
+		for j := range data {
+			w := data[j]
+			if w == 0 {
+				continue
+			}
+			rmin := uint8(k)
+			for v := offset + uint64(j); v != 0; v &= v - 1 {
+				if r := rank[bits.TrailingZeros64(v)]; r < rmin {
+					rmin = r
+				}
+			}
+			out[rmin] += w
+		}
+	})
+	// neg[i] = Σ_{r > i} hist[r]: mass whose first-ranked infected subject
+	// lies beyond the prefix.
+	neg := make([]float64, k)
+	var acc prob.Accumulator
+	for i := k - 1; i >= 0; i-- {
+		acc.Add(hist[i+1])
+		neg[i] = acc.Value()
+	}
+	return neg
+}
+
+// IntersectDist returns the posterior distribution of k = |S ∩ pool|, the
+// number of infected specimens the pool would capture: element k holds
+// P(|S ∩ pool| = k | data) for k in [0, |pool|]. Test selection uses it to
+// form outcome-predictive probabilities: P(y) = Σ_k P(y | k, n)·P(k).
+func (m *Model) IntersectDist(pool bitvec.Mask) []float64 {
+	pm := uint64(pool)
+	size := pool.Count()
+	return m.post.ReduceVec(size+1, func(_ int, offset uint64, data []float64, out []float64) {
+		for j := range data {
+			if w := data[j]; w != 0 {
+				out[bits.OnesCount64((offset+uint64(j))&pm)] += w
+			}
+		}
+	})
+}
+
+// Predictive returns the probability of observing outcome y on the given
+// pool under the current posterior and the model's response:
+// P(y | data) = Σ_k P(y | k, |pool|) · P(|S ∩ pool| = k | data).
+func (m *Model) Predictive(pool bitvec.Mask, y dilution.Outcome) float64 {
+	dist := m.IntersectDist(pool)
+	size := pool.Count()
+	var acc prob.Accumulator
+	for k := 0; k <= size; k++ {
+		if dist[k] != 0 {
+			acc.Add(dist[k] * m.resp.Likelihood(y, k, size))
+		}
+	}
+	return acc.Value()
+}
+
+// Entropy returns the Shannon entropy of the posterior in bits: the
+// residual classification uncertainty. An ideal halving test removes one
+// bit per update.
+func (m *Model) Entropy() float64 {
+	nats := m.post.ReduceSum(func(_ int, _ uint64, data []float64) prob.Accumulator {
+		var acc prob.Accumulator
+		for _, p := range data {
+			if p > 0 {
+				acc.Add(-p * math.Log(p))
+			}
+		}
+		return acc
+	})
+	return nats / math.Ln2
+}
+
+// MAP returns the maximum-a-posteriori lattice state and its mass. Ties
+// resolve to the lowest state index, deterministically.
+func (m *Model) MAP() (bitvec.Mask, float64) {
+	type best struct {
+		state uint64
+		mass  float64
+	}
+	parts := make([]best, m.post.Parts())
+	m.post.ForPartitions(func(p int, offset uint64, data []float64) {
+		b := best{mass: math.Inf(-1)}
+		for j := range data {
+			if data[j] > b.mass {
+				b = best{state: offset + uint64(j), mass: data[j]}
+			}
+		}
+		parts[p] = b
+	})
+	top := best{mass: math.Inf(-1)}
+	for _, b := range parts {
+		if b.mass > top.mass || (b.mass == top.mass && b.state < top.state) {
+			top = b
+		}
+	}
+	return bitvec.Mask(top.state), top.mass
+}
+
+// Mass returns the total posterior mass (≈1 between updates; exposed for
+// invariant checks and tests).
+func (m *Model) Mass() float64 { return m.post.Sum() }
+
+// ExpectedInfected returns E[|S|], the posterior expected number of
+// infected subjects, in one pass.
+func (m *Model) ExpectedInfected() float64 {
+	return m.post.ReduceSum(func(_ int, offset uint64, data []float64) prob.Accumulator {
+		var acc prob.Accumulator
+		for j := range data {
+			if w := data[j]; w != 0 {
+				acc.Add(w * float64(bits.OnesCount64(offset+uint64(j))))
+			}
+		}
+		return acc
+	})
+}
+
+// Condition collapses subject onto a known status and returns the reduced
+// model over the remaining N−1 subjects:
+//
+//	π'(S') ∝ π(embed(S'))  where embed re-inserts the subject's bit.
+//
+// Conditioning renormalizes, so the caller should have classified the
+// subject at high posterior confidence first. The receiver is unchanged.
+// It returns nil if the conditioning event has zero posterior mass or the
+// model has only one subject left (conditioning would empty the lattice).
+func (m *Model) Condition(subject int, positive bool) *Model {
+	if subject < 0 || subject >= m.n || m.n <= 1 {
+		return nil
+	}
+	nn := m.n - 1
+	low := uint64(1)<<uint(subject) - 1 // bits below the removed subject
+	bit := uint64(1) << uint(subject)
+	out := &Model{
+		n:     nn,
+		risks: make([]float64, 0, nn),
+		resp:  m.resp,
+		post:  m.postLike(uint64(1) << uint(nn)),
+		tests: m.tests,
+	}
+	out.risks = append(out.risks, m.risks[:subject]...)
+	out.risks = append(out.risks, m.risks[subject+1:]...)
+	src := m.post
+	out.post.ForPartitions(func(_ int, offset uint64, data []float64) {
+		for j := range data {
+			sp := offset + uint64(j)
+			old := (sp & low) | ((sp &^ low) << 1)
+			if positive {
+				old |= bit
+			}
+			data[j] = src.At(old)
+		}
+	})
+	if total := out.post.Normalize(); !(total > 0) {
+		return nil
+	}
+	return out
+}
+
+// postLike allocates a posterior vector of the given length on the same
+// pool, keeping the partition count roughly matched to the parent.
+func (m *Model) postLike(n uint64) *engine.Vector {
+	parts := m.post.Parts()
+	if uint64(parts) > n {
+		parts = int(n)
+	}
+	return engine.NewVector(m.post.Pool(), n, parts)
+}

@@ -1,0 +1,54 @@
+package latticeio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/lattice"
+)
+
+// FuzzLoad feeds arbitrary byte streams (seeded with real checkpoints and
+// mutations of them) to the checkpoint parser. The invariant under test:
+// Load either succeeds with a valid, normalized model or returns an error
+// — it never panics and never returns a model with invalid mass.
+func FuzzLoad(f *testing.F) {
+	pool := engine.NewPool(1)
+	defer pool.Close()
+	m, err := lattice.New(pool, lattice.Config{
+		Risks:    []float64{0.1, 0.3, 0.2},
+		Response: dilution.Binary{Sens: 0.9, Spec: 0.98},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := Save(&good, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// A bit-flipped checkpoint.
+	flipped := append([]byte(nil), good.Bytes()...)
+	if len(flipped) > 20 {
+		flipped[20] ^= 0x5a
+	}
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data), pool, 0)
+		if err != nil {
+			return // rejection is the expected outcome for junk
+		}
+		if got == nil {
+			t.Fatal("nil model with nil error")
+		}
+		mass := got.Mass()
+		if !(mass > 0.999999 && mass < 1.000001) {
+			t.Fatalf("accepted checkpoint with mass %v", mass)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package prob
+
+import "math"
+
+// Interval is a two-sided confidence interval on a proportion.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// WilsonInterval returns the Wilson score interval for observing successes
+// out of trials at confidence level given by z (z = 1.96 for 95%).
+// The Monte-Carlo study reports classification accuracy with Wilson bounds
+// because accuracies sit near 1, where the normal approximation interval
+// collapses or escapes [0,1]. trials == 0 yields the vacuous [0,1] interval.
+func WilsonInterval(successes, trials int, z float64) Interval {
+	if trials == 0 {
+		return Interval{0, 1}
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	return Interval{Clamp01(center - half), Clamp01(center + half)}
+}
+
+// MeanStddev returns the sample mean and the unbiased (n-1) sample standard
+// deviation of xs via a compensated two-pass computation. It returns
+// (0, 0) for an empty slice and stddev 0 for a single observation.
+func MeanStddev(xs []float64) (mean, stddev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = Sum(xs) / float64(len(xs))
+	if len(xs) == 1 {
+		return mean, 0
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		d := x - mean
+		acc.Add(d * d)
+	}
+	return mean, math.Sqrt(acc.Value() / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted xs using linear
+// interpolation between order statistics. It panics when xs is empty or not
+// ascending, or q is outside [0,1]; sortedness is the caller's contract and
+// is checked cheaply (adjacent pairs) to catch misuse in analysis code.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("prob: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("prob: Quantile q outside [0,1]")
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			panic("prob: Quantile input not sorted")
+		}
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,75 @@
+package prob
+
+import "math"
+
+// LogSumExp returns log(sum_i exp(xs[i])) with the max-shift trick.
+// It returns -Inf for an empty slice (the log of an empty sum).
+// Entries of -Inf (log of zero mass) are handled transparently.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	maxV := math.Inf(-1)
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if math.IsInf(maxV, -1) {
+		return maxV // all mass is zero
+	}
+	if math.IsInf(maxV, 1) {
+		return maxV
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(math.Exp(x - maxV))
+	}
+	return maxV + math.Log(acc.Value())
+}
+
+// LogAdd returns log(exp(a) + exp(b)) stably.
+func LogAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// LogNormalize shifts log-weights in place so that LogSumExp(xs) == 0
+// (i.e. the implied linear weights sum to 1) and returns the log of the
+// pre-shift total. All -Inf input (zero total mass) leaves xs unchanged and
+// returns -Inf.
+func LogNormalize(xs []float64) float64 {
+	lz := LogSumExp(xs)
+	if math.IsInf(lz, -1) {
+		return lz
+	}
+	for i := range xs {
+		xs[i] -= lz
+	}
+	return lz
+}
+
+// Log1mExp returns log(1 - exp(x)) for x <= 0, using the standard
+// two-branch form that is accurate across the whole domain. It returns NaN
+// for x > 0 (probability above one) and -Inf at x == 0.
+func Log1mExp(x float64) float64 {
+	if x > 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return math.Inf(-1)
+	}
+	const ln2 = 0.6931471805599453
+	if x > -ln2 {
+		return math.Log(-math.Expm1(x))
+	}
+	return math.Log1p(-math.Exp(x))
+}

@@ -1,0 +1,119 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumExpBasic(t *testing.T) {
+	xs := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got, want := LogSumExp(xs), math.Log(6); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogSumExp = %v, want %v", got, want)
+	}
+}
+
+func TestLogSumExpEmptyAndNegInf(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+	all := []float64{math.Inf(-1), math.Inf(-1)}
+	if got := LogSumExp(all); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(all -Inf) = %v, want -Inf", got)
+	}
+	mixed := []float64{math.Inf(-1), 0}
+	if got := LogSumExp(mixed); math.Abs(got) > 1e-15 {
+		t.Errorf("LogSumExp([-Inf, 0]) = %v, want 0", got)
+	}
+}
+
+func TestLogSumExpExtremeRange(t *testing.T) {
+	// exp(-800) underflows float64 alone, but relative to -800 the sum
+	// must still be exact.
+	xs := []float64{-800, -800}
+	want := -800 + math.Log(2)
+	if got := LogSumExp(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogSumExp = %v, want %v", got, want)
+	}
+}
+
+func TestLogAdd(t *testing.T) {
+	got := LogAdd(math.Log(0.25), math.Log(0.75))
+	if math.Abs(got) > 1e-12 {
+		t.Fatalf("LogAdd(log .25, log .75) = %v, want 0", got)
+	}
+	if got := LogAdd(math.Inf(-1), 1.5); got != 1.5 {
+		t.Errorf("LogAdd(-Inf, x) = %v", got)
+	}
+	if got := LogAdd(2.5, math.Inf(-1)); got != 2.5 {
+		t.Errorf("LogAdd(x, -Inf) = %v", got)
+	}
+}
+
+func TestLogAddCommutesAndMatchesLSE(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 700) // keep exp in range
+		b = math.Mod(b, 700)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x, y := LogAdd(a, b), LogAdd(b, a)
+		if x != y {
+			return false
+		}
+		z := LogSumExp([]float64{a, b})
+		return math.Abs(x-z) < 1e-9*math.Max(1, math.Abs(z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogNormalize(t *testing.T) {
+	xs := []float64{math.Log(2), math.Log(6), math.Log(2)}
+	lz := LogNormalize(xs)
+	if math.Abs(lz-math.Log(10)) > 1e-12 {
+		t.Fatalf("log total = %v, want log 10", lz)
+	}
+	if got := LogSumExp(xs); math.Abs(got) > 1e-12 {
+		t.Fatalf("post-normalize LogSumExp = %v, want 0", got)
+	}
+}
+
+func TestLogNormalizeAllZeroMass(t *testing.T) {
+	xs := []float64{math.Inf(-1), math.Inf(-1)}
+	if lz := LogNormalize(xs); !math.IsInf(lz, -1) {
+		t.Fatalf("LogNormalize all -Inf = %v", lz)
+	}
+	if !math.IsInf(xs[0], -1) {
+		t.Error("degenerate LogNormalize mutated input")
+	}
+}
+
+func TestLog1mExp(t *testing.T) {
+	cases := []struct{ x float64 }{{-1e-10}, {-0.1}, {-0.5}, {-1}, {-5}, {-50}}
+	for _, c := range cases {
+		got := Log1mExp(c.x)
+		want := math.Log(1 - math.Exp(c.x))
+		// For tiny |x| the naive form is itself inaccurate; compare with
+		// generous tolerance there and rely on the exact branch checks below.
+		tol := 1e-9 * math.Max(1, math.Abs(want))
+		if math.Abs(c.x) > 1e-8 && math.Abs(got-want) > tol {
+			t.Errorf("Log1mExp(%v) = %v, want %v", c.x, got, want)
+		}
+		if got >= 0 {
+			t.Errorf("Log1mExp(%v) = %v, must be negative", c.x, got)
+		}
+	}
+	if got := Log1mExp(0); !math.IsInf(got, -1) {
+		t.Errorf("Log1mExp(0) = %v, want -Inf", got)
+	}
+	if got := Log1mExp(0.5); !math.IsNaN(got) {
+		t.Errorf("Log1mExp(0.5) = %v, want NaN", got)
+	}
+	// Tiny |x|: 1 - exp(x) ≈ -x, so result ≈ log(-x).
+	x := -1e-12
+	if got, want := Log1mExp(x), math.Log(1e-12); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Log1mExp(%v) = %v, want ~%v", x, got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package prob
+
+import "math"
+
+// Entropy returns the Shannon entropy (in nats) of the distribution ps.
+// Zero entries contribute zero by the usual 0·log 0 = 0 convention. The
+// caller is responsible for ps being normalized; Entropy does not rescale.
+func Entropy(ps []float64) float64 {
+	var acc Accumulator
+	for _, p := range ps {
+		if p > 0 {
+			acc.Add(-p * math.Log(p))
+		}
+	}
+	return acc.Value()
+}
+
+// EntropyBits returns the Shannon entropy in bits. The halving algorithm's
+// convergence diagnostics are most readable in bits: an ideal binary split
+// removes exactly one bit per test.
+func EntropyBits(ps []float64) float64 { return Entropy(ps) / math.Ln2 }
+
+// BernoulliEntropy returns the entropy (nats) of a coin with P(heads)=p.
+func BernoulliEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}
+
+// KL returns the Kullback–Leibler divergence KL(p ‖ q) in nats. A point
+// where p > 0 but q == 0 yields +Inf, per the definition. Lengths must
+// match or KL panics.
+func KL(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("prob: KL length mismatch")
+	}
+	var acc Accumulator
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		acc.Add(p[i] * math.Log(p[i]/q[i]))
+	}
+	v := acc.Value()
+	if v < 0 && v > -1e-12 {
+		v = 0 // wash out compensation residue on identical inputs
+	}
+	return v
+}
+
+// TotalVariation returns the total-variation distance between p and q,
+// (1/2)·Σ|p_i − q_i|. Lengths must match or it panics.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("prob: TotalVariation length mismatch")
+	}
+	var acc Accumulator
+	for i := range p {
+		acc.Add(math.Abs(p[i] - q[i]))
+	}
+	return acc.Value() / 2
+}
+
+// Clamp01 clamps x into [0, 1]. Likelihood models use it to keep
+// floating-point drift from producing probabilities epsilon outside range.
+func Clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+// Logistic returns the standard logistic function 1/(1+exp(-x)), computed
+// through the numerically symmetric branch form.
+func Logistic(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

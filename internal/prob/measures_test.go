@@ -1,0 +1,189 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEntropyUniform(t *testing.T) {
+	ps := []float64{0.25, 0.25, 0.25, 0.25}
+	if got, want := Entropy(ps), math.Log(4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Entropy = %v, want %v", got, want)
+	}
+	if got := EntropyBits(ps); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("EntropyBits = %v, want 2", got)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if got := Entropy([]float64{1, 0, 0}); got != 0 {
+		t.Errorf("Entropy(point mass) = %v", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("Entropy(nil) = %v", got)
+	}
+}
+
+func TestBernoulliEntropy(t *testing.T) {
+	if got, want := BernoulliEntropy(0.5), math.Ln2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("H(1/2) = %v, want ln 2", got)
+	}
+	if got := BernoulliEntropy(0); got != 0 {
+		t.Errorf("H(0) = %v", got)
+	}
+	if got := BernoulliEntropy(1); got != 0 {
+		t.Errorf("H(1) = %v", got)
+	}
+	// Symmetry.
+	if a, b := BernoulliEntropy(0.2), BernoulliEntropy(0.8); math.Abs(a-b) > 1e-12 {
+		t.Errorf("H(0.2)=%v != H(0.8)=%v", a, b)
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.9, 0.1}
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if got := KL(p, q); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("KL = %v, want %v", got, want)
+	}
+	if got := KL(p, p); got != 0 {
+		t.Errorf("KL(p,p) = %v, want exactly 0", got)
+	}
+	if got := KL([]float64{1, 0}, []float64{0, 1}); !math.IsInf(got, 1) {
+		t.Errorf("KL with unsupported mass = %v, want +Inf", got)
+	}
+	// q zero where p zero is fine.
+	if got := KL([]float64{0, 1}, []float64{0, 1}); got != 0 {
+		t.Errorf("KL with matched zeros = %v", got)
+	}
+}
+
+func TestKLNonNegative(t *testing.T) {
+	p := []float64{0.3, 0.2, 0.5}
+	q := []float64{0.2, 0.3, 0.5}
+	if got := KL(p, q); got < 0 {
+		t.Errorf("KL = %v, must be nonnegative", got)
+	}
+}
+
+func TestKLPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("KL mismatch did not panic")
+		}
+	}()
+	KL([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if got := TotalVariation(p, q); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("TV = %v, want 1", got)
+	}
+	if got := TotalVariation(p, p); got != 0 {
+		t.Errorf("TV(p,p) = %v", got)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLogistic(t *testing.T) {
+	if got := Logistic(0); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("Logistic(0) = %v", got)
+	}
+	// Symmetry: σ(-x) = 1 - σ(x).
+	for _, x := range []float64{0.1, 1, 10, 100, 1000} {
+		a, b := Logistic(-x), 1-Logistic(x)
+		if math.Abs(a-b) > 1e-15 {
+			t.Errorf("Logistic symmetry fails at %v: %v vs %v", x, a, b)
+		}
+	}
+	// No overflow at extremes.
+	if got := Logistic(1e308); got != 1 {
+		t.Errorf("Logistic(huge) = %v", got)
+	}
+	if got := Logistic(-1e308); got != 0 {
+		t.Errorf("Logistic(-huge) = %v", got)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	iv := WilsonInterval(0, 0, 1.96)
+	if iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("vacuous interval = %+v", iv)
+	}
+	iv = WilsonInterval(95, 100, 1.96)
+	if iv.Lo >= 0.95 || iv.Hi <= 0.95 {
+		t.Fatalf("interval %+v does not contain point estimate 0.95", iv)
+	}
+	if iv.Lo < 0.87 || iv.Hi > 0.99 {
+		t.Errorf("interval %+v wider than expected for n=100", iv)
+	}
+	// Degenerate all-success: upper bound must stay within [0,1].
+	iv = WilsonInterval(50, 50, 1.96)
+	if iv.Hi > 1 || iv.Lo > 1 || iv.Lo < 0.8 {
+		t.Errorf("all-success interval %+v", iv)
+	}
+	// Wider at lower n.
+	narrow := WilsonInterval(950, 1000, 1.96)
+	wide := WilsonInterval(95, 100, 1.96)
+	if (narrow.Hi - narrow.Lo) >= (wide.Hi - wide.Lo) {
+		t.Errorf("interval did not narrow with n: %+v vs %+v", narrow, wide)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	mean, sd := MeanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if math.Abs(sd-2.13808993529939) > 1e-9 {
+		t.Errorf("stddev = %v", sd)
+	}
+	if m, s := MeanStddev(nil); m != 0 || s != 0 {
+		t.Errorf("empty MeanStddev = %v, %v", m, s)
+	}
+	if m, s := MeanStddev([]float64{3}); m != 3 || s != 0 {
+		t.Errorf("single MeanStddev = %v, %v", m, s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("Quantile single = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { Quantile(nil, 0.5) })
+	mustPanic("q>1", func() { Quantile([]float64{1}, 1.5) })
+	mustPanic("unsorted", func() { Quantile([]float64{2, 1}, 0.5) })
+}

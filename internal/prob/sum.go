@@ -1,0 +1,105 @@
+// Package prob provides the numerical kernels shared by the lattice model:
+// compensated and pairwise summation, log-space arithmetic, entropy and
+// divergence measures, normalization, and binomial confidence intervals.
+//
+// The lattice posterior is a vector of up to 2^N nonnegative weights whose
+// magnitudes span many orders of magnitude after a few strongly informative
+// updates. Naive summation loses the small-mass tail that classification
+// thresholds depend on, so every reduction here is either Kahan-compensated
+// or pairwise with a compensated base case.
+package prob
+
+import "math"
+
+// Sum returns a Kahan–Babuška (Neumaier variant) compensated sum of xs.
+// Unlike classic Kahan it also tracks compensation when the addend exceeds
+// the running sum, which matters for the spiky mass distributions produced
+// by likelihood updates.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// Accumulator is a streaming Neumaier-compensated summer. The zero value is
+// an empty sum ready to use. Engine workers each keep one Accumulator per
+// partial reduction so merging partials stays compensated end to end.
+type Accumulator struct {
+	sum, comp float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	t := a.sum + x
+	if math.Abs(a.sum) >= math.Abs(x) {
+		a.comp += (a.sum - t) + x
+	} else {
+		a.comp += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Merge folds another accumulator's state into a. Merging preserves each
+// side's compensation term, so tree reductions lose no more accuracy than a
+// single sequential pass.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.Add(b.sum)
+	a.Add(b.comp)
+}
+
+// Value returns the compensated total.
+func (a *Accumulator) Value() float64 { return a.sum + a.comp }
+
+// Reset returns the accumulator to the empty sum.
+func (a *Accumulator) Reset() { a.sum, a.comp = 0, 0 }
+
+// PairwiseSum sums xs by recursive halving with a compensated base case.
+// It exists as the reference reduction for the deterministic fixed-shape
+// reduction trees the engine uses: for a fixed length, the evaluation order
+// is a pure function of the data layout.
+func PairwiseSum(xs []float64) float64 {
+	const base = 128
+	if len(xs) <= base {
+		return Sum(xs)
+	}
+	half := len(xs) / 2
+	return PairwiseSum(xs[:half]) + PairwiseSum(xs[half:])
+}
+
+// Dot returns the compensated dot product of a and b.
+// It panics when the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("prob: Dot length mismatch")
+	}
+	var acc Accumulator
+	for i := range a {
+		acc.Add(a[i] * b[i])
+	}
+	return acc.Value()
+}
+
+// Normalize scales xs in place so it sums to 1 and returns the pre-scaling
+// total. When the total is zero, not finite, or xs is empty, xs is left
+// unchanged and the total is returned for the caller to diagnose — a zero
+// total after an update means the observed outcome had likelihood zero under
+// every lattice state (an impossible observation under the model).
+func Normalize(xs []float64) float64 {
+	total := Sum(xs)
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		return total
+	}
+	inv := 1 / total
+	for i := range xs {
+		xs[i] *= inv
+	}
+	return total
+}

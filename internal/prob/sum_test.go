@@ -1,0 +1,167 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumEmptyAndSingle(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+	if got := Sum([]float64{3.5}); got != 3.5 {
+		t.Errorf("Sum single = %v", got)
+	}
+}
+
+func TestSumCompensation(t *testing.T) {
+	// 1 + 1e-16 added 1e4 times: naive float summation loses every addend;
+	// compensated summation must keep them.
+	xs := make([]float64, 10001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1e-12
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Sum = %.18f, want %.18f", got, want)
+	}
+}
+
+func TestSumNeumaierHardCase(t *testing.T) {
+	// The case plain Kahan gets wrong: big addend after small running sum.
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := Sum(xs); got != 2 {
+		t.Fatalf("Sum = %v, want 2", got)
+	}
+}
+
+func TestAccumulatorMatchesSum(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Restrict to finite, overflow-safe magnitudes: the intermediate
+		// running sum must stay finite for the comparison to be meaningful.
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.Abs(xs[i]) > 1e300 {
+				xs[i] = 1
+			}
+			xs[i] = math.Mod(xs[i], 1e15)
+		}
+		var acc Accumulator
+		for _, x := range xs {
+			acc.Add(x)
+		}
+		a, b := acc.Value(), Sum(xs)
+		if a == b {
+			return true
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= 1e-12*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 1e-16
+	}
+	xs[0] = 1
+	var left, right Accumulator
+	for _, x := range xs[:500] {
+		left.Add(x)
+	}
+	for _, x := range xs[500:] {
+		right.Add(x)
+	}
+	left.Merge(right)
+	if got, want := left.Value(), Sum(xs); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("merged = %.20f, sequential = %.20f", got, want)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(5)
+	a.Reset()
+	if a.Value() != 0 {
+		t.Fatalf("Value after Reset = %v", a.Value())
+	}
+}
+
+func TestPairwiseSumMatchesSum(t *testing.T) {
+	xs := make([]float64, 4097)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+1)
+	}
+	a, b := PairwiseSum(xs), Sum(xs)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("PairwiseSum = %v, Sum = %v", a, b)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 6, 2}
+	total := Normalize(xs)
+	if total != 10 {
+		t.Fatalf("total = %v", total)
+	}
+	want := []float64{0.2, 0.6, 0.2}
+	for i := range xs {
+		if math.Abs(xs[i]-want[i]) > 1e-15 {
+			t.Fatalf("normalized[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	zero := []float64{0, 0}
+	if total := Normalize(zero); total != 0 {
+		t.Errorf("total of zeros = %v", total)
+	}
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("Normalize mutated a zero vector")
+	}
+	if total := Normalize(nil); total != 0 {
+		t.Errorf("total of nil = %v", total)
+	}
+}
+
+func TestNormalizeSumsToOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Abs(math.Mod(v, 1e100)))
+			}
+		}
+		total := Normalize(xs)
+		if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+			return true // degenerate input: vector left untouched by contract
+		}
+		return math.Abs(Sum(xs)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package program orchestrates surveillance at population scale.
+//
+// One lattice session handles at most 30 subjects (the dense engine's
+// bound), but a screening programme covers hundreds or thousands. The
+// program layer splits the population into cohort-sized bins, runs one
+// Bayesian session per cohort — cohorts fan out across the engine's
+// workers — and aggregates the per-subject calls back into population
+// order.
+//
+// Binning offers two assignments, and with adaptive Bayesian selection
+// the *total* test budget is nearly assignment-invariant (prior entropy
+// is additive; the lattice prices mixed risk correctly — the A4 ablation
+// measures identical totals). What differs is the critical path:
+// AssignSorted concentrates the high-risk subjects into few cohorts,
+// which isolates the expensive cases (useful when they get a dedicated
+// lab lane) but makes those cohorts need many sequential stages, while
+// AssignContiguous spreads hard cases across cohorts and so finishes in
+// fewer rounds when all cohorts run in parallel. Classical non-adaptive
+// designs (Dorfman blocks) still genuinely require the sorted form.
+package program
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/halving"
+	"repro/internal/rng"
+)
+
+// Assignment selects how subjects are binned into cohorts.
+type Assignment int
+
+// Assignment modes.
+const (
+	// AssignSorted bins subjects by ascending prior risk (default):
+	// cohorts are risk-homogeneous, which maximizes pooling efficiency.
+	AssignSorted Assignment = iota
+	// AssignContiguous bins subjects in population order.
+	AssignContiguous
+)
+
+// String names the assignment mode.
+func (a Assignment) String() string {
+	switch a {
+	case AssignSorted:
+		return "sorted"
+	case AssignContiguous:
+		return "contiguous"
+	default:
+		return fmt.Sprintf("assignment(%d)", int(a))
+	}
+}
+
+// PoolTest runs one physical pooled test on the given population-level
+// subject indices. Implementations must be safe for concurrent use:
+// cohorts run in parallel and each issues its own tests.
+type PoolTest func(subjects []int) dilution.Outcome
+
+// Config configures a population campaign.
+type Config struct {
+	// Risks holds the whole population's prior risks (any length >= 1).
+	Risks []float64
+	// Response models the assay. Required.
+	Response dilution.Response
+	// CohortSize is the lattice size per session; 0 defaults to 16,
+	// values above 24 are rejected (memory discipline: 24 → 16M states
+	// per in-flight cohort).
+	CohortSize int
+	// Assignment selects the binning (AssignSorted by default).
+	Assignment Assignment
+	// Session options forwarded to every cohort (see core.Config).
+	MaxPool      int
+	Lookahead    int
+	PosThreshold float64
+	NegThreshold float64
+	MaxStages    int
+}
+
+// Result aggregates a population campaign.
+type Result struct {
+	// Classifications is indexed by population subject.
+	Classifications []core.Classification
+	Tests           int
+	Cohorts         int
+	// MaxStages is the largest per-cohort stage count: with cohorts
+	// running in parallel in the lab too, it is the campaign's critical
+	// path in lab round-trips.
+	MaxStages int
+	Converged bool // every cohort converged
+}
+
+// Positives lists the subjects classified positive, ascending.
+func (r *Result) Positives() []int {
+	var out []int
+	for _, c := range r.Classifications {
+		if c.Status == core.StatusPositive {
+			out = append(out, c.Subject)
+		}
+	}
+	return out
+}
+
+// TestsPerSubject returns total tests over population size.
+func (r *Result) TestsPerSubject() float64 {
+	if len(r.Classifications) == 0 {
+		return 0
+	}
+	return float64(r.Tests) / float64(len(r.Classifications))
+}
+
+// cohortOf is one bin: lattice position -> population subject index.
+type cohortOf []int
+
+// assign bins the population into cohorts of at most size subjects.
+func assign(risks []float64, size int, mode Assignment) []cohortOf {
+	order := make([]int, len(risks))
+	for i := range order {
+		order[i] = i
+	}
+	if mode == AssignSorted {
+		sort.SliceStable(order, func(a, b int) bool {
+			if risks[order[a]] != risks[order[b]] {
+				return risks[order[a]] < risks[order[b]]
+			}
+			return order[a] < order[b]
+		})
+	}
+	var cohorts []cohortOf
+	for start := 0; start < len(order); start += size {
+		end := start + size
+		if end > len(order) {
+			end = len(order)
+		}
+		cohorts = append(cohorts, cohortOf(order[start:end]))
+	}
+	return cohorts
+}
+
+// Run executes the campaign: one Bayesian session per cohort, cohorts
+// fanned out across the pool's workers (each cohort's lattice runs on a
+// private single-worker engine so the two parallelism levels compose).
+// test is invoked concurrently from different cohorts.
+func Run(pool *engine.Pool, cfg Config, test PoolTest) (*Result, error) {
+	if len(cfg.Risks) == 0 {
+		return nil, fmt.Errorf("program: empty population")
+	}
+	if cfg.Response == nil {
+		return nil, fmt.Errorf("program: nil response model")
+	}
+	if test == nil {
+		return nil, fmt.Errorf("program: nil test function")
+	}
+	size := cfg.CohortSize
+	if size == 0 {
+		size = 16
+	}
+	if size < 1 || size > 24 {
+		return nil, fmt.Errorf("program: cohort size %d outside [1,24]", size)
+	}
+	switch cfg.Assignment {
+	case AssignSorted, AssignContiguous:
+	default:
+		return nil, fmt.Errorf("program: unknown assignment %d", int(cfg.Assignment))
+	}
+
+	cohorts := assign(cfg.Risks, size, cfg.Assignment)
+	res := &Result{
+		Classifications: make([]core.Classification, len(cfg.Risks)),
+		Cohorts:         len(cohorts),
+		Converged:       true,
+	}
+	var mu sync.Mutex
+	var firstErr error
+	pool.Run(len(cohorts), func(ci int) {
+		cohort := cohorts[ci]
+		risks := make([]float64, len(cohort))
+		for pos, g := range cohort {
+			risks[pos] = cfg.Risks[g]
+		}
+		lp := engine.NewPool(1)
+		defer lp.Close()
+		sess, err := core.NewSession(lp, core.Config{
+			Risks:        risks,
+			Response:     cfg.Response,
+			Strategy:     halving.Halving{Opts: halving.Options{MaxPool: cfg.MaxPool}},
+			Lookahead:    cfg.Lookahead,
+			PosThreshold: cfg.PosThreshold,
+			NegThreshold: cfg.NegThreshold,
+			MaxStages:    cfg.MaxStages,
+		})
+		if err == nil {
+			var out *core.Result
+			out, err = sess.Run(func(pm bitvec.Mask) dilution.Outcome {
+				subjects := make([]int, 0, pm.Count())
+				for _, pos := range pm.Indices() {
+					subjects = append(subjects, cohort[pos])
+				}
+				return test(subjects)
+			})
+			if err == nil {
+				mu.Lock()
+				for pos, call := range out.Classifications {
+					call.Subject = cohort[pos]
+					res.Classifications[cohort[pos]] = call
+				}
+				res.Tests += out.Tests
+				if out.Stages > res.MaxStages {
+					res.MaxStages = out.Stages
+				}
+				if !out.Converged {
+					res.Converged = false
+				}
+				mu.Unlock()
+				return
+			}
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("program: cohort %d: %w", ci, err)
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// Population couples population-scale risks with a realized truth (the
+// >64-subject analogue of workload.Population, using a bool slice instead
+// of a bitmask).
+type Population struct {
+	Risks    []float64
+	Infected []bool
+}
+
+// DrawPopulation realizes a truth for an arbitrarily large population.
+func DrawPopulation(risks []float64, r *rng.Source) Population {
+	inf := make([]bool, len(risks))
+	for i, p := range risks {
+		inf[i] = r.Bernoulli(p)
+	}
+	return Population{Risks: append([]float64(nil), risks...), Infected: inf}
+}
+
+// Count returns the number of infected subjects.
+func (p Population) Count() int {
+	n := 0
+	for _, v := range p.Infected {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Oracle is the population-scale simulated lab. Safe for concurrent use:
+// each Test call locks the RNG (cohorts run in parallel). Outcomes are
+// therefore scheduling-dependent across cohorts but each campaign remains
+// statistically faithful; for bit-reproducible studies use one Run per
+// seed and compare aggregates.
+type Oracle struct {
+	pop  Population
+	resp dilution.Response
+
+	mu    sync.Mutex
+	rng   *rng.Source
+	tests int
+}
+
+// NewOracle builds the simulated lab.
+func NewOracle(p Population, resp dilution.Response, r *rng.Source) *Oracle {
+	return &Oracle{pop: p, resp: resp, rng: r}
+}
+
+// Test implements PoolTest.
+func (o *Oracle) Test(subjects []int) dilution.Outcome {
+	if len(subjects) == 0 {
+		panic("program: test on empty pool")
+	}
+	k := 0
+	for _, s := range subjects {
+		if o.pop.Infected[s] {
+			k++
+		}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.tests++
+	return o.resp.Sample(o.rng, k, len(subjects))
+}
+
+// Tests returns how many physical tests have run.
+func (o *Oracle) Tests() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.tests
+}

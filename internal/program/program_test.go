@@ -1,0 +1,250 @@
+package program
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+func newTestPool(t *testing.T) *engine.Pool {
+	t.Helper()
+	p := engine.NewPool(4)
+	t.Cleanup(p.Close)
+	return p
+}
+
+func uniform(n int, p float64) []float64 {
+	rs := make([]float64, n)
+	for i := range rs {
+		rs[i] = p
+	}
+	return rs
+}
+
+func TestRunValidation(t *testing.T) {
+	pool := newTestPool(t)
+	ok := func(subjects []int) dilution.Outcome { return dilution.Negative }
+	cases := []struct {
+		name string
+		cfg  Config
+		test PoolTest
+	}{
+		{"empty population", Config{Response: dilution.Ideal{}}, ok},
+		{"nil response", Config{Risks: uniform(10, 0.1)}, ok},
+		{"nil test", Config{Risks: uniform(10, 0.1), Response: dilution.Ideal{}}, nil},
+		{"cohort too big", Config{Risks: uniform(10, 0.1), Response: dilution.Ideal{}, CohortSize: 25}, ok},
+		{"bad assignment", Config{Risks: uniform(10, 0.1), Response: dilution.Ideal{}, Assignment: Assignment(9)}, ok},
+	}
+	for _, c := range cases {
+		if _, err := Run(pool, c.cfg, c.test); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestAssignCoversPopulationOnce(t *testing.T) {
+	risks := make([]float64, 53)
+	r := rng.New(1)
+	for i := range risks {
+		risks[i] = 0.01 + 0.4*r.Float64()
+	}
+	for _, mode := range []Assignment{AssignSorted, AssignContiguous} {
+		cohorts := assign(risks, 10, mode)
+		if len(cohorts) != 6 {
+			t.Fatalf("%v: %d cohorts for 53 subjects of 10", mode, len(cohorts))
+		}
+		seen := make([]bool, len(risks))
+		for _, c := range cohorts {
+			if len(c) > 10 {
+				t.Fatalf("%v: cohort of %d", mode, len(c))
+			}
+			for _, g := range c {
+				if seen[g] {
+					t.Fatalf("%v: subject %d in two cohorts", mode, g)
+				}
+				seen[g] = true
+			}
+		}
+		for g, ok := range seen {
+			if !ok {
+				t.Fatalf("%v: subject %d unassigned", mode, g)
+			}
+		}
+	}
+	// Sorted mode produces non-decreasing risk across cohort boundaries.
+	cohorts := assign(risks, 10, AssignSorted)
+	var flat []float64
+	for _, c := range cohorts {
+		for _, g := range c {
+			flat = append(flat, risks[g])
+		}
+	}
+	if !sort.Float64sAreSorted(flat) {
+		t.Fatal("sorted assignment not risk-ordered")
+	}
+	// Contiguous mode preserves population order.
+	cohorts = assign(risks, 10, AssignContiguous)
+	if cohorts[0][0] != 0 || cohorts[5][2] != 52 {
+		t.Fatal("contiguous assignment reordered subjects")
+	}
+}
+
+func TestRunClassifiesLargePopulationExactly(t *testing.T) {
+	pool := newTestPool(t)
+	const n = 120
+	risks := uniform(n, 0.04)
+	r := rng.New(42)
+	popu := DrawPopulation(risks, r)
+	oracle := NewOracle(popu, dilution.Ideal{}, r)
+	res, err := Run(pool, Config{
+		Risks:    risks,
+		Response: dilution.Ideal{},
+	}, oracle.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("campaign did not converge")
+	}
+	if res.Cohorts != (n+15)/16 {
+		t.Fatalf("%d cohorts", res.Cohorts)
+	}
+	if len(res.Classifications) != n {
+		t.Fatalf("%d classifications", len(res.Classifications))
+	}
+	for g, call := range res.Classifications {
+		if call.Subject != g {
+			t.Fatalf("classification %d carries subject %d", g, call.Subject)
+		}
+		want := core.StatusNegative
+		if popu.Infected[g] {
+			want = core.StatusPositive
+		}
+		if call.Status != want {
+			t.Fatalf("subject %d classified %v, truth %v", g, call.Status, popu.Infected[g])
+		}
+	}
+	if res.Tests != oracle.Tests() {
+		t.Fatalf("counted %d tests, oracle ran %d", res.Tests, oracle.Tests())
+	}
+	if got := res.TestsPerSubject(); got >= 0.8 {
+		t.Fatalf("tests/subject %v shows no pooling savings", got)
+	}
+	if res.MaxStages < 1 {
+		t.Fatalf("MaxStages = %d", res.MaxStages)
+	}
+	// Positives listing matches the truth.
+	var wantPos []int
+	for g, inf := range popu.Infected {
+		if inf {
+			wantPos = append(wantPos, g)
+		}
+	}
+	gotPos := res.Positives()
+	if len(gotPos) != len(wantPos) {
+		t.Fatalf("positives %v vs %v", gotPos, wantPos)
+	}
+	for i := range wantPos {
+		if gotPos[i] != wantPos[i] {
+			t.Fatalf("positives %v vs %v", gotPos, wantPos)
+		}
+	}
+}
+
+func TestAssignmentModesComparableOnSkewedRisk(t *testing.T) {
+	// Heterogeneous population: a minority at high risk scattered through
+	// a low-risk majority. With *adaptive* selection the two binnings must
+	// land in the same cost ballpark — prior entropy is additive, so the
+	// lattice compensates for mixed-risk cohorts — and both must classify
+	// correctly. (Sorting's decisive advantage belongs to non-adaptive
+	// designs; see the package comment.)
+	pool := newTestPool(t)
+	const n = 96
+	risks := make([]float64, n)
+	for i := range risks {
+		if i%8 == 0 {
+			risks[i] = 0.3
+		} else {
+			risks[i] = 0.01
+		}
+	}
+	run := func(mode Assignment, seed uint64) int {
+		total := 0
+		const reps = 5
+		for rep := uint64(0); rep < reps; rep++ {
+			rr := rng.New(seed + rep)
+			popu := DrawPopulation(risks, rr)
+			oracle := NewOracle(popu, dilution.Ideal{}, rr)
+			res, err := Run(pool, Config{
+				Risks:      risks,
+				Response:   dilution.Ideal{},
+				Assignment: mode,
+			}, oracle.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Tests
+		}
+		return total
+	}
+	sorted := run(AssignSorted, 100)
+	contig := run(AssignContiguous, 100)
+	lo, hi := sorted, contig
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(hi) > 1.5*float64(lo) {
+		t.Fatalf("assignment modes diverged beyond noise: sorted %d vs contiguous %d tests", sorted, contig)
+	}
+}
+
+func TestDrawPopulationAndOracle(t *testing.T) {
+	r := rng.New(3)
+	risks := uniform(200, 0.1)
+	popu := DrawPopulation(risks, r)
+	if len(popu.Infected) != 200 {
+		t.Fatalf("infected slice %d", len(popu.Infected))
+	}
+	count := popu.Count()
+	if count < 5 || count > 45 {
+		t.Fatalf("infected count %d implausible for p=0.1, n=200", count)
+	}
+	o := NewOracle(popu, dilution.Ideal{}, r)
+	// Find one infected and one clean subject.
+	var inf, clean int = -1, -1
+	for g, v := range popu.Infected {
+		if v && inf == -1 {
+			inf = g
+		}
+		if !v && clean == -1 {
+			clean = g
+		}
+	}
+	if y := o.Test([]int{inf}); !y.Positive {
+		t.Error("infected subject tested negative under ideal assay")
+	}
+	if y := o.Test([]int{clean}); y.Positive {
+		t.Error("clean subject tested positive under ideal assay")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty pool did not panic")
+			}
+		}()
+		o.Test(nil)
+	}()
+}
+
+func TestAssignmentString(t *testing.T) {
+	if AssignSorted.String() != "sorted" || AssignContiguous.String() != "contiguous" {
+		t.Error("assignment names wrong")
+	}
+	if Assignment(7).String() == "" {
+		t.Error("unknown assignment empty")
+	}
+}

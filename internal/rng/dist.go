@@ -1,0 +1,106 @@
+package rng
+
+import "math"
+
+// Gamma returns a deviate from the Gamma(shape, scale) distribution using
+// the Marsaglia–Tsang squeeze method, with the standard shape<1 boost.
+// It panics when shape or scale is not positive.
+func (r *Source) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma requires positive shape and scale")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// Beta returns a deviate from the Beta(a, b) distribution via the
+// Gamma-ratio construction. Heterogeneous risk priors draw per-subject
+// infection probabilities from Beta distributions.
+func (r *Source) Beta(a, b float64) float64 {
+	x := r.Gamma(a, 1)
+	y := r.Gamma(b, 1)
+	if x+y == 0 {
+		return 0.5 // vanishingly unlikely; keep the result in-range
+	}
+	return x / (x + y)
+}
+
+// Binomial returns a Binomial(n, p) deviate. For the pool sizes used here
+// (n <= 64) direct Bernoulli summation is fast and exact.
+func (r *Source) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic("rng: Binomial requires n >= 0")
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			k++
+		}
+	}
+	return k
+}
+
+// Poisson returns a Poisson(lambda) deviate. Knuth multiplication for
+// lambda < 30, normal approximation with rounding above (adequate for the
+// epidemic arrival processes simulated here). It panics for negative lambda.
+func (r *Source) Poisson(lambda float64) int {
+	if lambda < 0 {
+		panic("rng: Poisson requires lambda >= 0")
+	}
+	if lambda == 0 {
+		return 0
+	}
+	if lambda < 30 {
+		limit := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	}
+	for {
+		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
+		if v >= 0 {
+			return int(v + 0.5)
+		}
+	}
+}
+
+// Exp returns an Exp(rate) deviate via inversion. It panics when rate <= 0.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp requires positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}

@@ -1,0 +1,348 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsProduceDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	var zeros int
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs in 64 draws", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child continues even if parent advances; and replaying the parent
+	// reproduces the same child.
+	parent2 := New(7)
+	child2 := parent2.Split()
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != child2.Uint64() {
+			t.Fatalf("split streams not reproducible at step %d", i)
+		}
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	kids := New(3).SplitN(8)
+	if len(kids) != 8 {
+		t.Fatalf("SplitN returned %d streams", len(kids))
+	}
+	firsts := map[uint64]int{}
+	for i, k := range kids {
+		v := k.Uint64()
+		if j, dup := firsts[v]; dup {
+			t.Fatalf("children %d and %d emitted identical first draw", i, j)
+		}
+		firsts[v] = i
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	counts := make([]int, 7)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < n/7-1200 || c > n/7+1200 {
+			t.Errorf("Intn(7): value %d appeared %d times, expected ~%d", v, c, n/7)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleUniformish(t *testing.T) {
+	// Position of element 0 after shuffling [0,1,2] should be ~uniform.
+	r := New(37)
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		a := []int{0, 1, 2}
+		r.Shuffle(3, func(x, y int) { a[x], a[y] = a[y], a[x] })
+		for pos, v := range a {
+			if v == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	for pos, c := range counts {
+		if c < n/3-800 || c > n/3+800 {
+			t.Errorf("element 0 at position %d in %d/%d shuffles", pos, c, n)
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(41)
+	const n = 100000
+	shape, scale := 3.0, 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Gamma(shape, scale)
+		if v < 0 {
+			t.Fatalf("Gamma deviate %v negative", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-shape*scale) > 0.1 {
+		t.Errorf("Gamma mean = %v, want %v", mean, shape*scale)
+	}
+	if math.Abs(variance-shape*scale*scale) > 0.4 {
+		t.Errorf("Gamma variance = %v, want %v", variance, shape*scale*scale)
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	r := New(43)
+	const n = 50000
+	shape := 0.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Gamma(shape, 1)
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Gamma(0.5,1) deviate %v invalid", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-shape) > 0.02 {
+		t.Errorf("Gamma(0.5) mean = %v, want 0.5", mean)
+	}
+}
+
+func TestBetaMomentsAndRange(t *testing.T) {
+	r := New(47)
+	const n = 100000
+	a, b := 2.0, 5.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Beta(a, b)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta deviate %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	want := a / (a + b)
+	if mean := sum / n; math.Abs(mean-want) > 0.01 {
+		t.Errorf("Beta mean = %v, want %v", mean, want)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(53)
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		k := r.Binomial(20, 0.25)
+		if k < 0 || k > 20 {
+			t.Fatalf("Binomial(20,0.25) = %d", k)
+		}
+		sum += k
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("Binomial mean = %v, want 5", mean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(59)
+	for _, lambda := range []float64{0, 2.5, 50} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		tol := 0.05 + lambda*0.02
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(61)
+	const n = 100000
+	rate := 2.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp deviate %v negative", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want 0.5", mean)
+	}
+}
+
+func TestDistPanics(t *testing.T) {
+	r := New(1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Gamma(0,1)", func() { r.Gamma(0, 1) })
+	mustPanic("Gamma(1,0)", func() { r.Gamma(1, 0) })
+	mustPanic("Binomial(-1,.5)", func() { r.Binomial(-1, 0.5) })
+	mustPanic("Poisson(-1)", func() { r.Poisson(-1) })
+	mustPanic("Exp(0)", func() { r.Exp(0) })
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.NormFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,49 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+)
+
+// The uninformative ½-likelihood response keeps the posterior (and the
+// retained support) a fixed point across thousands of benchmark updates;
+// an informative one would concentrate mass, shrink the support, and
+// measure a vanishing workload.
+func benchSparse(b *testing.B, n int, prev, eps float64) *Model {
+	b.Helper()
+	m, err := New(Config{Risks: uniform(n, prev), Response: dilution.Binary{Sens: 0.5, Spec: 0.5}, Eps: eps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSparseUpdate40(b *testing.B) {
+	m := benchSparse(b, 40, 0.02, 1e-10)
+	pm := bitvec.Full(16)
+	ys := []dilution.Outcome{dilution.Negative, dilution.Positive}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Update(pm, ys[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseMarginals40(b *testing.B) {
+	m := benchSparse(b, 40, 0.02, 1e-10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Marginals()
+	}
+}
+
+func BenchmarkSparsePrior48(b *testing.B) {
+	// Prior enumeration cost: branch-and-bound over 2^48 states.
+	for i := 0; i < b.N; i++ {
+		m := benchSparse(b, 48, 0.01, 1e-9)
+		_ = m.Support()
+	}
+}

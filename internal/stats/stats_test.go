@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/halving"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestConfusionRates(t *testing.T) {
+	c := Confusion{TP: 8, FP: 1, TN: 89, FN: 2}
+	if got := c.Total(); got != 100 {
+		t.Fatalf("Total = %d", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.97) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Sensitivity(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Sensitivity = %v", got)
+	}
+	if got := c.Specificity(); math.Abs(got-89.0/90) > 1e-12 {
+		t.Errorf("Specificity = %v", got)
+	}
+}
+
+func TestConfusionVacuousCases(t *testing.T) {
+	var empty Confusion
+	if empty.Accuracy() != 1 || empty.Sensitivity() != 1 || empty.Specificity() != 1 {
+		t.Error("vacuous tallies should report 1")
+	}
+	onlyNeg := Confusion{TN: 5}
+	if onlyNeg.Sensitivity() != 1 {
+		t.Error("no positives to find: sensitivity should be vacuous 1")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	a.Add(Confusion{TP: 10, FP: 20, TN: 30, FN: 40})
+	if a != (Confusion{TP: 11, FP: 22, TN: 33, FN: 44}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	res := &core.Result{Classifications: []core.Classification{
+		{Subject: 0, Status: core.StatusPositive},
+		{Subject: 1, Status: core.StatusNegative},
+		{Subject: 2, Status: core.StatusPositive},
+		{Subject: 3, Status: core.StatusNegative},
+	}}
+	truth := bitvec.FromIndices(0, 3) // 0 infected (caught), 3 infected (missed)
+	c := Evaluate(res, truth)
+	if c != (Confusion{TP: 1, FP: 1, TN: 1, FN: 1}) {
+		t.Fatalf("Evaluate = %+v", c)
+	}
+}
+
+func studyCfg(reps int) StudyConfig {
+	return StudyConfig{
+		RiskGen:    func(*rng.Source) []float64 { return workload.UniformRisks(10, 0.05) },
+		Response:   dilution.Ideal{},
+		Replicates: reps,
+		Seed:       42,
+	}
+}
+
+func TestPrepareValidation(t *testing.T) {
+	bad := []StudyConfig{
+		{Response: dilution.Ideal{}, Replicates: 1},
+		{RiskGen: func(*rng.Source) []float64 { return nil }, Replicates: 1},
+		{RiskGen: func(*rng.Source) []float64 { return nil }, Response: dilution.Ideal{}, Replicates: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := RunSerial(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The load-bearing determinism property: Run and RunSerial must agree
+	// replicate by replicate.
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	cfg := studyCfg(24)
+	par, err := Run(pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Reps) != len(ser.Reps) {
+		t.Fatalf("replicate counts differ: %d vs %d", len(par.Reps), len(ser.Reps))
+	}
+	for i := range par.Reps {
+		if par.Reps[i] != ser.Reps[i] {
+			t.Fatalf("replicate %d diverged:\npar %+v\nser %+v", i, par.Reps[i], ser.Reps[i])
+		}
+	}
+}
+
+func TestStudyIdealIsPerfect(t *testing.T) {
+	res, err := RunSerial(studyCfg(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summarize()
+	if sum.Accuracy != 1 {
+		t.Fatalf("ideal-assay accuracy = %v", sum.Accuracy)
+	}
+	if sum.ConvergedFrac != 1 {
+		t.Fatalf("converged fraction = %v", sum.ConvergedFrac)
+	}
+	if sum.Replicates != 20 || sum.Subjects != 200 {
+		t.Fatalf("counts: %d reps, %d subjects", sum.Replicates, sum.Subjects)
+	}
+	// At 5% prevalence group testing must save a lot of tests.
+	if sum.TestsPerSubject >= 0.8 {
+		t.Fatalf("tests/subject = %v, expected clear savings", sum.TestsPerSubject)
+	}
+	if sav := res.Savings(); sav <= 0.2 {
+		t.Fatalf("savings = %v", sav)
+	}
+	if res.IndividualTestingBaseline() != 200 {
+		t.Fatalf("individual baseline = %d", res.IndividualTestingBaseline())
+	}
+	if sum.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestStudyWithNoisyAssayAndStrategy(t *testing.T) {
+	cfg := StudyConfig{
+		RiskGen:  func(r *rng.Source) []float64 { return workload.BetaRisks(9, 2, 20, r) },
+		Response: dilution.Hyperbolic{MaxSens: 0.97, Spec: 0.99, D: 0.3},
+		Strategy: func(r *rng.Source) halving.Strategy {
+			return halving.Halving{Opts: halving.Options{MaxPool: 6}}
+		},
+		Replicates: 12,
+		Seed:       7,
+	}
+	res, err := RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summarize()
+	if sum.Accuracy < 0.85 {
+		t.Fatalf("accuracy = %v", sum.Accuracy)
+	}
+	if sum.AccuracyCI.Lo > sum.Accuracy+1e-12 || sum.AccuracyCI.Hi < sum.Accuracy-1e-12 {
+		t.Fatalf("CI %+v does not bracket accuracy %v", sum.AccuracyCI, sum.Accuracy)
+	}
+	if sum.StagesP90 < sum.MeanStages {
+		t.Fatalf("p90 stages %v below mean %v", sum.StagesP90, sum.MeanStages)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	var s StudyResult
+	if got := s.Summarize(); got.Replicates != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+	if got := s.Savings(); got != 0 {
+		t.Fatalf("empty savings = %v", got)
+	}
+}
+
+func TestMeanEntropyTrace(t *testing.T) {
+	cfg := studyCfg(6)
+	trace, err := MeanEntropyTrace(cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 13 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	// Starts at the prior entropy of the 10-subject 5% cohort.
+	if trace[0] < 1 || trace[0] > 10 {
+		t.Fatalf("prior entropy %v implausible", trace[0])
+	}
+	// Ends near zero once all replicates converge.
+	if trace[len(trace)-1] > 0.5 {
+		t.Fatalf("trace tail %v not near zero", trace[len(trace)-1])
+	}
+	// Halving must dominate random pooling stage by stage in the mean.
+	cfgRand := cfg
+	cfgRand.Strategy = func(r *rng.Source) halving.Strategy {
+		return halving.Random{Size: 5, Rng: r.Split()}
+	}
+	randTrace, err := MeanEntropyTrace(cfgRand, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[6] >= randTrace[6] {
+		t.Fatalf("halving trace %v not below random %v at stage 6", trace[6], randTrace[6])
+	}
+}

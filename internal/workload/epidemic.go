@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/prob"
+	"repro/internal/rng"
+)
+
+// Epidemic drives a cohort's infection status across surveillance rounds
+// with discrete SIS-style dynamics: between consecutive testing rounds an
+// infected subject recovers with probability Gamma, and a susceptible
+// subject is infected with probability
+//
+//	λ = 1 − (1−Community)·Π(1 − Beta·[contact infected])
+//
+// where the contact term couples cohort members (everyone mixes with
+// everyone, scaled by Beta) and Community is the constant force of
+// infection from outside the cohort. Recovered subjects return to
+// susceptible (SIS), which is the right shape for surveillance programmes
+// that run for months.
+//
+// The point of this substrate is the abstract's "repeated testing for
+// surveillance under constantly varying conditions": round t's prior must
+// come from round t−1's posterior pushed through these dynamics, not from
+// a static risk table.
+type Epidemic struct {
+	Beta      float64 // within-cohort transmission probability per infected contact
+	Gamma     float64 // per-round recovery probability
+	Community float64 // per-round infection probability from outside
+
+	n      int
+	status bitvec.Mask // current truth: bit i = subject i infected
+	rng    *rng.Source
+}
+
+// NewEpidemic seeds a cohort of n subjects with initial infections drawn
+// at the given prevalence. It panics on invalid parameters (experiment
+// configuration errors).
+func NewEpidemic(n int, initPrev, beta, gamma, community float64, r *rng.Source) *Epidemic {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("workload: epidemic cohort size %d", n))
+	}
+	if beta < 0 || beta > 1 || gamma < 0 || gamma > 1 || community < 0 || community > 1 {
+		panic("workload: epidemic rates outside [0,1]")
+	}
+	if initPrev < 0 || initPrev > 1 {
+		panic("workload: initial prevalence outside [0,1]")
+	}
+	e := &Epidemic{Beta: beta, Gamma: gamma, Community: community, n: n, rng: r}
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(initPrev) {
+			e.status = e.status.With(i)
+		}
+	}
+	return e
+}
+
+// N returns the cohort size.
+func (e *Epidemic) N() int { return e.n }
+
+// Truth returns the current infection state.
+func (e *Epidemic) Truth() bitvec.Mask { return e.status }
+
+// Prevalence returns the current infected fraction.
+func (e *Epidemic) Prevalence() float64 {
+	return float64(e.status.Count()) / float64(e.n)
+}
+
+// forceOfInfection returns this round's per-susceptible infection
+// probability given k infected cohort members.
+func (e *Epidemic) forceOfInfection(k int) float64 {
+	escape := 1 - e.Community
+	for i := 0; i < k; i++ {
+		escape *= 1 - e.Beta
+	}
+	return prob.Clamp01(1 - escape)
+}
+
+// Advance evolves the truth by one inter-round step and returns the new
+// state. Transitions use the pre-step infected count, so the update is
+// synchronous (all subjects see the same force of infection).
+func (e *Epidemic) Advance() bitvec.Mask {
+	lambda := e.forceOfInfection(e.status.Count())
+	var next bitvec.Mask
+	for i := 0; i < e.n; i++ {
+		if e.status.Has(i) {
+			if !e.rng.Bernoulli(e.Gamma) {
+				next = next.With(i) // still infected
+			}
+		} else if e.rng.Bernoulli(lambda) {
+			next = next.With(i) // newly infected
+		}
+	}
+	e.status = next
+	return next
+}
+
+// NextRoundRisks pushes a posterior through the epidemic dynamics to form
+// the next round's prior: subject i's risk becomes
+//
+//	P(infected at t+1) = marg_i·(1−Gamma) + (1−marg_i)·λ̂
+//
+// where λ̂ is the force of infection evaluated at the posterior-expected
+// infected count. Risks are clamped into (ε, 1−ε) so they remain valid
+// lattice priors even after a certain classification. This is the
+// Bayesian hand-off that makes repeated surveillance coherent: what the
+// last round learned is what this round assumes.
+func (e *Epidemic) NextRoundRisks(marginals []float64) []float64 {
+	if len(marginals) != e.n {
+		panic(fmt.Sprintf("workload: %d marginals for cohort of %d", len(marginals), e.n))
+	}
+	expInfected := 0.0
+	for _, g := range marginals {
+		expInfected += g
+	}
+	lambda := e.forceOfInfection(int(expInfected + 0.5))
+	const eps = 1e-4
+	out := make([]float64, e.n)
+	for i, g := range marginals {
+		p := g*(1-e.Gamma) + (1-g)*lambda
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		out[i] = p
+	}
+	return out
+}

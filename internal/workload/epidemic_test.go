@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewEpidemicValidation(t *testing.T) {
+	r := rng.New(1)
+	for _, c := range []struct {
+		name                        string
+		n                           int
+		prev, beta, gamma, communal float64
+	}{
+		{"n too small", 0, 0.1, 0.1, 0.1, 0.01},
+		{"n too large", 65, 0.1, 0.1, 0.1, 0.01},
+		{"beta", 8, 0.1, 1.5, 0.1, 0.01},
+		{"gamma", 8, 0.1, 0.1, -0.1, 0.01},
+		{"community", 8, 0.1, 0.1, 0.1, 2},
+		{"prev", 8, -0.5, 0.1, 0.1, 0.01},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			NewEpidemic(c.n, c.prev, c.beta, c.gamma, c.communal, r)
+		}()
+	}
+}
+
+func TestEpidemicInitialPrevalence(t *testing.T) {
+	r := rng.New(5)
+	total := 0
+	const reps = 400
+	for i := 0; i < reps; i++ {
+		e := NewEpidemic(50, 0.1, 0, 0, 0, r)
+		total += e.Truth().Count()
+	}
+	mean := float64(total) / (50 * reps)
+	if math.Abs(mean-0.1) > 0.01 {
+		t.Fatalf("initial prevalence %v, want ~0.1", mean)
+	}
+}
+
+func TestEpidemicRecoveryOnly(t *testing.T) {
+	// With gamma=1 and no transmission, everyone recovers in one step.
+	r := rng.New(7)
+	e := NewEpidemic(20, 0.5, 0, 1, 0, r)
+	e.Advance()
+	if e.Truth() != 0 {
+		t.Fatalf("gamma=1 left infections: %v", e.Truth())
+	}
+	if e.Prevalence() != 0 {
+		t.Fatalf("prevalence %v", e.Prevalence())
+	}
+}
+
+func TestEpidemicNoDynamicsIsFixedPoint(t *testing.T) {
+	r := rng.New(9)
+	e := NewEpidemic(16, 0.3, 0, 0, 0, r)
+	before := e.Truth()
+	for i := 0; i < 5; i++ {
+		e.Advance()
+	}
+	if e.Truth() != before {
+		t.Fatalf("state drifted without dynamics: %v -> %v", before, e.Truth())
+	}
+}
+
+func TestEpidemicEndemicEquilibrium(t *testing.T) {
+	// With transmission and recovery balanced, long-run prevalence settles
+	// near the SIS equilibrium; just check it stays strictly interior.
+	r := rng.New(11)
+	e := NewEpidemic(40, 0.2, 0.02, 0.3, 0.005, r)
+	var sum float64
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		e.Advance()
+		sum += e.Prevalence()
+	}
+	mean := sum / rounds
+	if mean <= 0.01 || mean >= 0.9 {
+		t.Fatalf("long-run prevalence %v not endemic-interior", mean)
+	}
+}
+
+func TestForceOfInfectionMonotone(t *testing.T) {
+	r := rng.New(13)
+	e := NewEpidemic(10, 0, 0.05, 0.1, 0.01, r)
+	prev := -1.0
+	for k := 0; k <= 10; k++ {
+		f := e.forceOfInfection(k)
+		if f < prev {
+			t.Fatalf("force of infection decreasing at k=%d", k)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("force %v out of range", f)
+		}
+		prev = f
+	}
+	// Community floor: zero infected still carries the community rate.
+	if got := e.forceOfInfection(0); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("community floor = %v", got)
+	}
+}
+
+func TestNextRoundRisks(t *testing.T) {
+	r := rng.New(17)
+	e := NewEpidemic(4, 0, 0.05, 0.2, 0.01, r)
+	marg := []float64{0, 0.5, 1, 0.02}
+	risks := e.NextRoundRisks(marg)
+	if len(risks) != 4 {
+		t.Fatalf("len = %d", len(risks))
+	}
+	for i, p := range risks {
+		if !(p > 0 && p < 1) {
+			t.Fatalf("risk[%d] = %v not a valid prior", i, p)
+		}
+	}
+	// A certainly-infected subject stays high risk (only recovery pulls it
+	// down); a certainly-clean one picks up roughly the force of infection.
+	if risks[2] < 0.7 {
+		t.Errorf("infected carry-over risk %v too low", risks[2])
+	}
+	// λ at ~2 expected infected contacts: 1−(1−0.01)(1−0.05)² ≈ 0.107.
+	if math.Abs(risks[0]-0.1065) > 0.01 {
+		t.Errorf("clean subject risk %v, want ≈ λ = 0.107", risks[0])
+	}
+	// Monotone in the marginal.
+	if !(risks[0] < risks[1] && risks[1] < risks[2]) {
+		t.Errorf("risks not monotone in marginals: %v", risks)
+	}
+}
+
+func TestNextRoundRisksPanicsOnLengthMismatch(t *testing.T) {
+	r := rng.New(19)
+	e := NewEpidemic(4, 0, 0.05, 0.2, 0.01, r)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	e.NextRoundRisks([]float64{0.5})
+}

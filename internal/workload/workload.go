@@ -1,0 +1,155 @@
+// Package workload generates the synthetic surveillance populations and
+// test oracles the experiments run on — the stand-in for the COVID-19
+// screening data the paper's evaluation used (see DESIGN.md §2).
+//
+// A workload has three layers:
+//
+//   - a risk profile assigns per-subject prior infection probabilities
+//     (uniform community risk, Beta-heterogeneous individual risk, or
+//     household-clustered risk),
+//   - a truth draw realizes an infection state from those risks,
+//   - an Oracle answers pooled-test queries about the truth through a
+//     dilution.Response, which is how simulated lab results are produced.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/rng"
+)
+
+// Population couples a cohort's prior risks with one realized truth.
+type Population struct {
+	Risks []float64   // per-subject prior infection probability
+	Truth bitvec.Mask // realized infection state (bit i = subject i infected)
+}
+
+// Infected returns the number of truly infected subjects.
+func (p Population) Infected() int { return p.Truth.Count() }
+
+// UniformRisks assigns every subject the same prior risk p. It panics when
+// p is outside (0, 1) or n is not in [1, 64] — workload construction errors
+// are programming errors in experiment configs.
+func UniformRisks(n int, p float64) []float64 {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("workload: cohort size %d", n))
+	}
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("workload: uniform risk %v outside (0,1)", p))
+	}
+	rs := make([]float64, n)
+	for i := range rs {
+		rs[i] = p
+	}
+	return rs
+}
+
+// BetaRisks draws heterogeneous per-subject risks from Beta(a, b) — the
+// "varying individual risk" setting in the abstract. Draws are clamped
+// into [1e-4, 1−1e-4] so no subject enters the lattice pre-classified.
+func BetaRisks(n int, a, b float64, r *rng.Source) []float64 {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("workload: cohort size %d", n))
+	}
+	rs := make([]float64, n)
+	for i := range rs {
+		v := r.Beta(a, b)
+		if v < 1e-4 {
+			v = 1e-4
+		}
+		if v > 1-1e-4 {
+			v = 1 - 1e-4
+		}
+		rs[i] = v
+	}
+	return rs
+}
+
+// HouseholdRisks models clustered exposure: subjects are grouped into
+// households of the given size, each household is "exposed" with
+// probability pExposed, and members of exposed households carry riskHigh
+// while the rest carry riskLow. This induces the correlated-prior shape
+// community surveillance sees without leaving the independent-prior model:
+// the lattice prior stays a product measure, but the risk levels cluster.
+func HouseholdRisks(n, householdSize int, pExposed, riskLow, riskHigh float64, r *rng.Source) []float64 {
+	if n < 1 || n > 64 || householdSize < 1 {
+		panic(fmt.Sprintf("workload: n=%d householdSize=%d", n, householdSize))
+	}
+	if !(riskLow > 0 && riskLow < 1 && riskHigh > 0 && riskHigh < 1) {
+		panic("workload: household risks outside (0,1)")
+	}
+	rs := make([]float64, n)
+	for start := 0; start < n; start += householdSize {
+		risk := riskLow
+		if r.Bernoulli(pExposed) {
+			risk = riskHigh
+		}
+		end := start + householdSize
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			rs[i] = risk
+		}
+	}
+	return rs
+}
+
+// Draw realizes a truth from per-subject risks: subject i is infected
+// independently with probability risks[i].
+func Draw(risks []float64, r *rng.Source) Population {
+	var truth bitvec.Mask
+	for i, p := range risks {
+		if r.Bernoulli(p) {
+			truth = truth.With(i)
+		}
+	}
+	return Population{Risks: append([]float64(nil), risks...), Truth: truth}
+}
+
+// DrawConditioned rejection-samples a truth with exactly k infected
+// subjects, for experiments that fix the realized prevalence. It panics if
+// k is infeasible for the cohort size.
+func DrawConditioned(risks []float64, k int, r *rng.Source) Population {
+	n := len(risks)
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("workload: cannot draw %d infected among %d", k, n))
+	}
+	for {
+		p := Draw(risks, r)
+		if p.Infected() == k {
+			return p
+		}
+	}
+}
+
+// Oracle answers pooled-test queries about a fixed truth through a
+// response model. It is the simulated laboratory.
+type Oracle struct {
+	Truth bitvec.Mask
+	Resp  dilution.Response
+	Rng   *rng.Source
+	tests int
+}
+
+// NewOracle builds an oracle for the population using the given response
+// model and RNG stream.
+func NewOracle(p Population, resp dilution.Response, r *rng.Source) *Oracle {
+	return &Oracle{Truth: p.Truth, Resp: resp, Rng: r}
+}
+
+// Test runs one pooled test on the subjects in pool (global subject IDs)
+// and returns the sampled outcome. It panics on an empty pool: requesting
+// a test of nobody is a bug in the selection layer.
+func (o *Oracle) Test(pool bitvec.Mask) dilution.Outcome {
+	if pool == 0 {
+		panic("workload: test on empty pool")
+	}
+	o.tests++
+	return o.Resp.Sample(o.Rng, o.Truth.IntersectCount(pool), pool.Count())
+}
+
+// Tests returns how many physical tests the oracle has run.
+func (o *Oracle) Tests() int { return o.tests }

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/rng"
+)
+
+func TestUniformRisks(t *testing.T) {
+	rs := UniformRisks(10, 0.07)
+	if len(rs) != 10 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	for i, p := range rs {
+		if p != 0.07 {
+			t.Fatalf("risk[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestUniformRisksPanics(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{0, 0.1}, {65, 0.1}, {5, 0}, {5, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("UniformRisks(%d, %v) did not panic", c.n, c.p)
+				}
+			}()
+			UniformRisks(c.n, c.p)
+		}()
+	}
+}
+
+func TestBetaRisksInRangeAndMean(t *testing.T) {
+	r := rng.New(3)
+	a, b := 2.0, 18.0 // mean 0.1
+	var sum float64
+	const n = 64
+	const reps = 500
+	for rep := 0; rep < reps; rep++ {
+		rs := BetaRisks(n, a, b, r)
+		for _, p := range rs {
+			if p < 1e-4 || p > 1-1e-4 {
+				t.Fatalf("risk %v outside clamp", p)
+			}
+			sum += p
+		}
+	}
+	mean := sum / (n * reps)
+	if math.Abs(mean-0.1) > 0.01 {
+		t.Fatalf("Beta risk mean = %v, want ~0.1", mean)
+	}
+}
+
+func TestHouseholdRisksClusters(t *testing.T) {
+	r := rng.New(9)
+	rs := HouseholdRisks(20, 4, 0.3, 0.02, 0.4, r)
+	if len(rs) != 20 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	// Every household must be internally homogeneous.
+	for start := 0; start < 20; start += 4 {
+		for i := start; i < start+4 && i < 20; i++ {
+			if rs[i] != rs[start] {
+				t.Fatalf("household starting at %d not homogeneous", start)
+			}
+			if rs[i] != 0.02 && rs[i] != 0.4 {
+				t.Fatalf("risk %v not one of the two levels", rs[i])
+			}
+		}
+	}
+	// Exposure rate roughly matches over many draws.
+	exposed := 0
+	const reps = 2000
+	for rep := 0; rep < reps; rep++ {
+		hh := HouseholdRisks(4, 4, 0.3, 0.02, 0.4, r)
+		if hh[0] == 0.4 {
+			exposed++
+		}
+	}
+	if rate := float64(exposed) / reps; math.Abs(rate-0.3) > 0.03 {
+		t.Fatalf("exposure rate = %v", rate)
+	}
+}
+
+func TestHouseholdRisksRaggedTail(t *testing.T) {
+	r := rng.New(1)
+	rs := HouseholdRisks(10, 3, 0.5, 0.01, 0.3, r)
+	if len(rs) != 10 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	// The last household has only one member; it must still get a level.
+	if rs[9] != 0.01 && rs[9] != 0.3 {
+		t.Fatalf("tail risk %v", rs[9])
+	}
+}
+
+func TestDrawMatchesRisks(t *testing.T) {
+	r := rng.New(17)
+	risks := []float64{0.05, 0.5, 0.95}
+	counts := make([]int, 3)
+	const reps = 20000
+	for rep := 0; rep < reps; rep++ {
+		p := Draw(risks, r)
+		for i := 0; i < 3; i++ {
+			if p.Truth.Has(i) {
+				counts[i]++
+			}
+		}
+	}
+	for i, want := range risks {
+		got := float64(counts[i]) / reps
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("subject %d infected rate %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDrawCopiesRisks(t *testing.T) {
+	r := rng.New(1)
+	risks := []float64{0.1, 0.2}
+	p := Draw(risks, r)
+	risks[0] = 0.9
+	if p.Risks[0] != 0.1 {
+		t.Fatal("Draw aliased the caller's risk slice")
+	}
+}
+
+func TestDrawConditioned(t *testing.T) {
+	r := rng.New(23)
+	risks := UniformRisks(12, 0.2)
+	for _, k := range []int{0, 1, 3, 12} {
+		p := DrawConditioned(risks, k, r)
+		if p.Infected() != k {
+			t.Fatalf("conditioned draw has %d infected, want %d", p.Infected(), k)
+		}
+	}
+}
+
+func TestDrawConditionedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("infeasible k did not panic")
+		}
+	}()
+	DrawConditioned(UniformRisks(4, 0.2), 5, rng.New(1))
+}
+
+func TestOracleIdeal(t *testing.T) {
+	r := rng.New(31)
+	pop := Population{Risks: UniformRisks(8, 0.2), Truth: bitvec.FromIndices(2, 5)}
+	o := NewOracle(pop, dilution.Ideal{}, r)
+	if y := o.Test(bitvec.FromIndices(0, 1)); y.Positive {
+		t.Error("clean pool tested positive under ideal response")
+	}
+	if y := o.Test(bitvec.FromIndices(2, 3)); !y.Positive {
+		t.Error("infected pool tested negative under ideal response")
+	}
+	if o.Tests() != 2 {
+		t.Errorf("Tests = %d", o.Tests())
+	}
+}
+
+func TestOracleEmptyPoolPanics(t *testing.T) {
+	o := NewOracle(Population{}, dilution.Ideal{}, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("empty pool did not panic")
+		}
+	}()
+	o.Test(0)
+}
+
+func TestOracleDilutionRates(t *testing.T) {
+	// A single infected specimen in a large pool should miss more often
+	// under a strong dilution model than in a small pool.
+	resp := dilution.Hyperbolic{MaxSens: 0.99, Spec: 0.99, D: 0.5}
+	r := rng.New(41)
+	pop := Population{Truth: bitvec.FromIndices(0)}
+	o := NewOracle(pop, resp, r)
+	miss := func(pool bitvec.Mask) float64 {
+		misses := 0
+		const reps = 5000
+		for i := 0; i < reps; i++ {
+			if !o.Test(pool).Positive {
+				misses++
+			}
+		}
+		return float64(misses) / reps
+	}
+	small := miss(bitvec.Full(2))
+	large := miss(bitvec.Full(32))
+	if small >= large {
+		t.Fatalf("dilution did not raise miss rate: pool2=%v pool32=%v", small, large)
+	}
+}

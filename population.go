@@ -1,0 +1,52 @@
+package sbgt
+
+import (
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Population couples prior risks with one realized infection truth.
+type Population = workload.Population
+
+// Oracle simulates a laboratory answering pooled-test queries.
+type Oracle = workload.Oracle
+
+// Rand is a deterministic splittable random stream. All sbgt simulation
+// takes explicit streams so results are reproducible under parallelism.
+type Rand = rng.Source
+
+// NewRand returns a stream rooted at seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// UniformRisks assigns every subject prior risk p.
+func UniformRisks(n int, p float64) []float64 { return workload.UniformRisks(n, p) }
+
+// BetaRisks draws heterogeneous per-subject risks from Beta(a, b).
+func BetaRisks(n int, a, b float64, r *Rand) []float64 { return workload.BetaRisks(n, a, b, r) }
+
+// HouseholdRisks assigns clustered risks: households of the given size are
+// exposed with probability pExposed; members carry riskHigh or riskLow.
+func HouseholdRisks(n, householdSize int, pExposed, riskLow, riskHigh float64, r *Rand) []float64 {
+	return workload.HouseholdRisks(n, householdSize, pExposed, riskLow, riskHigh, r)
+}
+
+// DrawPopulation realizes an infection truth from per-subject risks.
+func DrawPopulation(risks []float64, r *Rand) Population { return workload.Draw(risks, r) }
+
+// NewOracle builds a simulated lab for the population under the response.
+func NewOracle(p Population, resp Response, r *Rand) *Oracle {
+	return workload.NewOracle(p, resp, r)
+}
+
+// Epidemic evolves a cohort's infection truth between surveillance rounds
+// (SIS dynamics with within-cohort transmission and a community floor)
+// and pushes posteriors forward into next-round priors.
+type Epidemic = workload.Epidemic
+
+// NewEpidemic seeds an epidemic over n subjects at the given initial
+// prevalence; beta is the within-cohort transmission probability per
+// infected contact, gamma the per-round recovery probability, community
+// the per-round external infection probability.
+func NewEpidemic(n int, initPrev, beta, gamma, community float64, r *Rand) *Epidemic {
+	return workload.NewEpidemic(n, initPrev, beta, gamma, community, r)
+}

@@ -1,0 +1,50 @@
+package sbgt
+
+import (
+	"repro/internal/program"
+	"repro/internal/rng"
+)
+
+// CampaignConfig configures a population-scale screening campaign; see
+// program.Config for field semantics.
+type CampaignConfig = program.Config
+
+// CampaignResult aggregates a population campaign.
+type CampaignResult = program.Result
+
+// Campaign assignment modes.
+const (
+	// AssignSorted bins the population by ascending prior risk (default).
+	AssignSorted = program.AssignSorted
+	// AssignContiguous bins subjects in population order (fixed tube order).
+	AssignContiguous = program.AssignContiguous
+)
+
+// PoolTest runs one physical pooled test on population-level subject
+// indices; it must be safe for concurrent use (cohorts run in parallel).
+type PoolTest = program.PoolTest
+
+// LargePopulation couples risks with a realized truth for populations of
+// any size (the >64-subject analogue of Population).
+type LargePopulation = program.Population
+
+// LargeOracle is the concurrent-safe simulated lab for large populations.
+type LargeOracle = program.Oracle
+
+// RunCampaign screens an arbitrarily large population: it bins subjects
+// into lattice-sized cohorts, runs one Bayesian session per cohort fanned
+// out across the engine's workers, and aggregates the per-subject calls.
+func (e *Engine) RunCampaign(cfg CampaignConfig, test PoolTest) (*CampaignResult, error) {
+	return program.Run(e.pool, cfg, test)
+}
+
+// DrawLargePopulation realizes an infection truth for a population of any
+// size.
+func DrawLargePopulation(risks []float64, r *Rand) LargePopulation {
+	return program.DrawPopulation(risks, r)
+}
+
+// NewLargeOracle builds the simulated lab for a large population.
+func NewLargeOracle(p LargePopulation, resp Response, r *rng.Source) *LargeOracle {
+	return program.NewOracle(p, resp, r)
+}

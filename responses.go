@@ -1,0 +1,46 @@
+package sbgt
+
+import "repro/internal/dilution"
+
+// IdealTest returns the error-free assay: positive iff the pool contains
+// an infected specimen.
+func IdealTest() Response { return dilution.Ideal{} }
+
+// BinaryTest returns a fixed sensitivity/specificity assay with no
+// dilution dependence.
+func BinaryTest(sens, spec float64) Response {
+	return dilution.Binary{Sens: sens, Spec: spec}
+}
+
+// HyperbolicDilutionTest returns Hwang's dilution model: sensitivity for a
+// pool with k of n infected is maxSens·k/(k + d·(n−k)). d in (0,1] sets
+// dilution severity (0 disables dilution).
+func HyperbolicDilutionTest(maxSens, spec, d float64) Response {
+	return dilution.Hyperbolic{MaxSens: maxSens, Spec: spec, D: d}
+}
+
+// LogisticDilutionTest returns the logistic limit-of-detection model:
+// sensitivity maxSens·σ(alpha + beta·log2(k/n)).
+func LogisticDilutionTest(maxSens, spec, alpha, beta float64) Response {
+	return dilution.Logistic{MaxSens: maxSens, Spec: spec, Alpha: alpha, Beta: beta}
+}
+
+// SubsampleDilutionTest returns the independent-detection dilution model:
+// each infected specimen is detected with probability q/n.
+func SubsampleDilutionTest(q, spec float64) Response {
+	return dilution.Subsample{Q: q, Spec: spec}
+}
+
+// CtTest returns the continuous RT-PCR cycle-threshold response with
+// literature-typical default parameters (censoring at 40 cycles, one cycle
+// per two-fold dilution) — the "general test response distributions beyond
+// binary outcomes" the framework supports.
+func CtTest() Response { return dilution.DefaultCt() }
+
+// CtTestParams returns a fully parameterized Ct response.
+func CtTestParams(base, slope, sigma, maxCycles, spec, contamWindow float64) Response {
+	return dilution.CtValue{
+		Base: base, Slope: slope, Sigma: sigma,
+		MaxCycles: maxCycles, Spec: spec, ContamWindow: contamWindow,
+	}
+}

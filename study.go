@@ -1,0 +1,37 @@
+package sbgt
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// StudyConfig describes a Monte-Carlo surveillance study; see
+// stats.StudyConfig for field semantics.
+type StudyConfig = stats.StudyConfig
+
+// StudyResult holds per-replicate study metrics.
+type StudyResult = stats.StudyResult
+
+// StudySummary aggregates a study for reporting.
+type StudySummary = stats.Summary
+
+// Confusion tallies classification outcomes against truth.
+type Confusion = stats.Confusion
+
+// RunStudy executes the study with replicates fanned out across the
+// engine's workers. Results are deterministic for a fixed seed and
+// identical to RunStudySerial.
+func (e *Engine) RunStudy(cfg StudyConfig) (*StudyResult, error) {
+	return stats.Run(e.pool, cfg)
+}
+
+// RunStudySerial executes the study on the calling goroutine.
+func RunStudySerial(cfg StudyConfig) (*StudyResult, error) {
+	return stats.RunSerial(cfg)
+}
+
+// EvaluateResult scores a session result against a known truth.
+func EvaluateResult(res *core.Result, truth bitvec.Mask) Confusion {
+	return stats.Evaluate(res, truth)
+}
