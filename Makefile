@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test lint vet race fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Repo-invariant static analysis (determinism, concurrency, floats,
+# errcheck). Exits non-zero on any diagnostic.
+lint:
+	$(GO) run ./cmd/sbgt-lint ./...
+
+# Race-detector pass over the packages that own goroutines.
+race:
+	$(GO) test -race ./internal/engine ./internal/cluster ./internal/bench
+
+# Short fuzz smoke over the numeric-kernel invariants.
+fuzz:
+	$(GO) test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
+	$(GO) test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fuzztime 10s
+
+# The full gate, identical to .github/workflows/ci.yml.
+ci:
+	./scripts/ci.sh

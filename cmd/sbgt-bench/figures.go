@@ -1,7 +1,9 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"time"
 
@@ -237,9 +239,18 @@ func runF6(c *ctx) error {
 				return err
 			}
 			e := cluster.NewExecutor(1)
-			go func() { _ = e.Serve(l) }()
+			go func() {
+				if err := e.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
+					log.Printf("bench executor: %v", err)
+				}
+			}()
 			addrs = append(addrs, l.Addr().String())
-			cleanup = append(cleanup, func() { l.Close(); e.Close() })
+			cleanup = append(cleanup, func() {
+				if err := l.Close(); err != nil {
+					log.Printf("bench executor: close listener: %v", err)
+				}
+				e.Close()
+			})
 		}
 		m, err := cluster.Dial(addrs, risks, benchResponse, 2*time.Second)
 		if err != nil {

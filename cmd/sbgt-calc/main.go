@@ -79,10 +79,15 @@ func main() {
 				p, d.Name, d.TestsPerSubject, d.Stages, d.Sens, d.Spec, basis)
 		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
 
 	if !*sweep {
-		designs, _ := calculator.Compare(*prev, resp, hp)
+		designs, err := calculator.Compare(*prev, resp, hp)
+		if err != nil {
+			log.Fatal(err)
+		}
 		best := calculator.Recommend(designs)
 		fmt.Printf("\nrecommendation at prevalence %.3f with %s assay: %s\n", *prev, resp.Name(), best.Name)
 		fmt.Println("(cheapest design whose sensitivity reaches 90% of individual testing's)")

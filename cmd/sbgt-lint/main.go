@@ -1,0 +1,119 @@
+// Command sbgt-lint runs this repository's static-analysis suite over
+// every non-test package in the module and exits non-zero on any
+// diagnostic, so it can gate CI.
+//
+// Usage:
+//
+//	sbgt-lint [flags] [./...]
+//
+// The suite always covers the whole module; package-pattern arguments are
+// accepted for interface parity with go vet but must lie inside it.
+//
+// Flags:
+//
+//	-list        print the analyzers and their invariants, then exit
+//	-run a,b     run only the named analyzers
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+// Intentional exceptions are annotated in source as
+// "//lint:allow <analyzer> <reason>"; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *runNames != "" {
+		var unknown string
+		analyzers, unknown = analysis.ByName(strings.Split(*runNames, ","))
+		if unknown != "" {
+			fmt.Fprintf(os.Stderr, "sbgt-lint: unknown analyzer %q (use -list)\n", unknown)
+			os.Exit(2)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbgt-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, arg := range flag.Args() {
+		if err := checkPattern(root, arg); err != nil {
+			fmt.Fprintf(os.Stderr, "sbgt-lint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbgt-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sbgt-lint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// checkPattern validates that a package-pattern argument stays inside the
+// module (the suite always lints the whole module regardless).
+func checkPattern(root, pattern string) error {
+	p := strings.TrimSuffix(pattern, "...")
+	p = strings.TrimSuffix(p, "/")
+	if p == "" || p == "." {
+		return nil
+	}
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		return err
+	}
+	if abs != root && !strings.HasPrefix(abs, root+string(filepath.Separator)) {
+		return fmt.Errorf("pattern %q lies outside the module at %s", pattern, root)
+	}
+	return nil
+}

@@ -72,7 +72,9 @@ func main() {
 			log.Fatal(err)
 		}
 		sess, err = eng.LoadSession(f, sbgt.HalvingStrategy(*maxPool, false))
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -185,12 +187,12 @@ func checkpoint(sess *sbgt.Session, path string) error {
 		return err
 	}
 	if err := sbgt.SaveSession(f, sess); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		f.Close()      //lint:allow errcheck the save error dominates temp-file cleanup
+		os.Remove(tmp) //lint:allow errcheck the save error dominates temp-file cleanup
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //lint:allow errcheck the close error dominates temp-file cleanup
 		return err
 	}
 	return os.Rename(tmp, path)

@@ -26,6 +26,7 @@ func main() {
 			log.Fatal(err)
 		}
 		addrs = append(addrs, l.Addr().String())
+		//lint:allow concurrency the demo runs executors in-process; deployments use cmd/sbgt-exec
 		go func(l net.Listener) {
 			// Library form of cmd/sbgt-exec: serve until shutdown. (The
 			// "use of closed network connection" error on process exit is

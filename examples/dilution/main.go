@@ -66,7 +66,9 @@ func main() {
 	run("mild dilution (d=0.2)", sbgt.HyperbolicDilutionTest(0.98, 0.995, 0.2))
 	run("strong dilution (d=0.8)", sbgt.HyperbolicDilutionTest(0.98, 0.995, 0.8))
 	run("continuous Ct readout", sbgt.CtTest())
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\nthe Ct row shows the value of modeling the full response distribution:")
 	fmt.Println("a late cycle-threshold crossing quantifies *how diluted* the positive pool")

@@ -60,7 +60,9 @@ func main() {
 		fmt.Fprintf(w, "%s\t%.3f\t%.1f\t%.4f\t%.4f\t%.4f\n",
 			p.name, s.TestsPerSubject, s.MeanStages, s.Accuracy, s.Sensitivity, s.Specificity)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n%d replicates of %d subjects each; household-clustered risk; diluting assay\n",
 		replicates, cohort)
 	fmt.Println("halving should dominate on tests/subject at equal accuracy; individual testing")

@@ -1,0 +1,68 @@
+package analysis
+
+import "strings"
+
+// The allowlist mechanism: a source comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// suppresses diagnostics from <analyzer> on the comment's own line (for
+// trailing comments) and on the line directly below it (for standalone
+// comments above the flagged statement). The reason is mandatory — an
+// allow without one is reported by the pseudo-analyzer "allow" — so every
+// suppression in the tree documents why the invariant is intentionally
+// bent at that site.
+
+const allowPrefix = "//lint:allow"
+
+// allowIndex maps file:line to the analyzer names allowed there.
+type allowIndex map[allowKey]map[string]bool
+
+type allowKey struct {
+	file string
+	line int
+}
+
+func (idx allowIndex) allowed(d Diagnostic) bool {
+	set := idx[allowKey{d.Pos.Filename, d.Pos.Line}]
+	return set != nil && set[d.Analyzer]
+}
+
+func (idx allowIndex) add(file string, line int, analyzer string) {
+	k := allowKey{file, line}
+	if idx[k] == nil {
+		idx[k] = make(map[string]bool)
+	}
+	idx[k][analyzer] = true
+}
+
+// collectAllows scans a package's comments for lint:allow annotations,
+// returning the suppression index and diagnostics for malformed
+// annotations (missing analyzer name or missing reason).
+func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
+	idx := make(allowIndex)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "malformed lint:allow: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				idx.add(pos.Filename, pos.Line, name)
+				idx.add(pos.Filename, pos.Line+1, name)
+			}
+		}
+	}
+	return idx, diags
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// approvedConcurrencyPackage reports whether a package may spawn
+// goroutines directly. Everything else must route parallelism through
+// engine.Pool (or the cluster driver/executor built on it) so that work
+// decomposition — and therefore reduction order — stays under the
+// substrate's control.
+func approvedConcurrencyPackage(path string) bool {
+	return pathHasSuffix(path, "internal/engine") ||
+		pathHasSuffix(path, "internal/cluster") ||
+		pathHasSegment(path, "cmd")
+}
+
+// Concurrency enforces the parallelism discipline:
+//
+//   - `go` statements are flagged outside internal/engine, internal/cluster,
+//     and cmd/* — ad-hoc goroutines bypass the pool's deterministic
+//     partition-ordered reductions and its panic containment;
+//   - copying a value whose type (transitively) contains sync.Mutex,
+//     sync.WaitGroup, sync.Once, sync.Cond, sync.Map, sync.Pool, or a
+//     sync/atomic value splits its internal state, a classic source of
+//     silent races. Value receivers, by-value parameters, plain
+//     assignments, and range clauses are checked.
+var Concurrency = &Analyzer{
+	Name: "concurrency",
+	Doc: "flag goroutines outside the approved substrate packages and " +
+		"by-value copies of lock-containing types",
+	Run: runConcurrency,
+}
+
+func runConcurrency(pass *Pass) {
+	approved := approvedConcurrencyPackage(pass.PkgPath)
+
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !approved {
+				pass.Reportf(n.Pos(),
+					"goroutine outside the approved concurrency substrate (internal/engine, internal/cluster, cmd/*); route parallelism through engine.Pool")
+			}
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) == 1 {
+				checkLockParam(pass, n.Recv.List[0], "receiver of method "+n.Name.Name)
+			}
+			for _, p := range n.Type.Params.List {
+				checkLockParam(pass, p, "parameter of "+n.Name.Name)
+			}
+		case *ast.FuncLit:
+			for _, p := range n.Type.Params.List {
+				checkLockParam(pass, p, "parameter of function literal")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// `_ = x` discards the copy; nothing can observe the split state.
+				if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+					continue
+				}
+				checkLockCopyExpr(pass, rhs)
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil && !isBlank(n.Value) {
+				if t := pass.TypeOf(n.Value); t != nil {
+					if lock := lockComponent(t); lock != "" {
+						pass.Reportf(n.Value.Pos(),
+							"range clause copies %s, which contains %s; iterate by index or use pointers", t, lock)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLockParam flags a by-value receiver or parameter whose type
+// contains a lock.
+func checkLockParam(pass *Pass, field *ast.Field, what string) {
+	t := pass.TypeOf(field.Type)
+	if t == nil {
+		return
+	}
+	if _, ok := t.(*types.Pointer); ok {
+		return
+	}
+	if lock := lockComponent(t); lock != "" {
+		pass.Reportf(field.Pos(), "%s passes %s by value, copying its %s; use a pointer", what, t, lock)
+	}
+}
+
+// checkLockCopyExpr flags assignment right-hand sides that copy a
+// lock-containing value. Composite literals and calls construct fresh
+// values and are not copies of live state.
+func checkLockCopyExpr(pass *Pass, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pass.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if _, ok := t.(*types.Pointer); ok {
+		return
+	}
+	if lock := lockComponent(t); lock != "" {
+		pass.Reportf(rhs.Pos(), "assignment copies %s, which contains %s; use a pointer", t, lock)
+	}
+}
+
+// lockTypes are the sync and sync/atomic types that must never be copied
+// once in use.
+var lockTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Map": true, "sync.Pool": true,
+	"sync/atomic.Bool": true, "sync/atomic.Int32": true, "sync/atomic.Int64": true,
+	"sync/atomic.Uint32": true, "sync/atomic.Uint64": true, "sync/atomic.Uintptr": true,
+	"sync/atomic.Pointer": true, "sync/atomic.Value": true,
+}
+
+// lockComponent returns the name of a no-copy component reachable from t
+// by value (fields, array elements), or "" if none.
+func lockComponent(t types.Type) string {
+	return lockComponentRec(t, make(map[types.Type]bool))
+}
+
+func lockComponentRec(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			name := obj.Pkg().Path() + "." + obj.Name()
+			if lockTypes[name] {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		return lockComponentRec(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockComponentRec(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockComponentRec(u.Elem(), seen)
+	}
+	return ""
+}

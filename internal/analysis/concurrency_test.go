@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+func TestConcurrencyGolden(t *testing.T) {
+	// Loaded as internal/stats: not an approved substrate package, so the
+	// goroutine is flagged alongside the lock copies.
+	runGolden(t, "concurrency", "repro/internal/stats", "concurrency",
+		[]*Analyzer{Concurrency})
+}
+
+func TestConcurrencyApprovedPackages(t *testing.T) {
+	// The same source under an approved package keeps its lock-copy
+	// diagnostics but loses the goroutine one.
+	for _, path := range []string{"repro/internal/engine", "repro/internal/cluster", "repro/cmd/sbgt-bench"} {
+		diags := loadAndRun(t, "concurrency", path, []*Analyzer{Concurrency})
+		for _, d := range diags {
+			if msgContains(d, "goroutine") {
+				t.Errorf("goroutine flagged in approved package %s: %s", path, d)
+			}
+		}
+		if countByAnalyzer(diags)["concurrency"] == 0 {
+			t.Errorf("lock-copy diagnostics missing under %s", path)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminismGolden(t *testing.T) {
+	// Loaded as internal/lattice: a numeric package, so every rule applies.
+	runGolden(t, "determinism", "repro/internal/lattice", "determinism",
+		[]*Analyzer{Determinism})
+}
+
+func TestDeterminismSanctionedRngPackage(t *testing.T) {
+	// internal/rng is the sanctioned randomness source: the math/rand ban
+	// does not apply there, but the wall-clock ban still does.
+	diags := loadAndRun(t, "determinism", "repro/internal/rng", []*Analyzer{Determinism})
+	for _, d := range diags {
+		if msgContains(d, "math/rand") {
+			t.Errorf("math/rand flagged inside internal/rng: %s", d)
+		}
+	}
+	if n := countByAnalyzer(diags)["determinism"]; n == 0 {
+		t.Error("time.Now and map accumulation should still be flagged in internal/rng")
+	}
+}
+
+func TestDeterminismNonNumericPackage(t *testing.T) {
+	// Outside the numeric set only the module-wide math/rand ban fires;
+	// clocks and map iteration are tooling concerns there, not correctness.
+	diags := loadAndRun(t, "determinism", "repro/cmd/sbgt-bench", []*Analyzer{Determinism})
+	if len(diags) != 1 || !msgContains(diags[0], "math/rand") {
+		t.Fatalf("want exactly the math/rand import diagnostic, got %v", diags)
+	}
+}
+
+func msgContains(d Diagnostic, sub string) bool {
+	return strings.Contains(d.Message, sub)
+}

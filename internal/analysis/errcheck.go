@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errcheck flags discarded error returns in non-test code: bare call
+// statements whose callee returns an error, and assignments that bind an
+// error result to the blank identifier. A dropped error turns a failed
+// update into a silently wrong posterior, which in a surveillance system
+// is worse than a crash.
+//
+// Exemptions, chosen to keep the signal high:
+//
+//   - deferred calls: deferred cleanup (Close on teardown paths) is
+//     conventionally best-effort;
+//   - fmt.Print*/Fprint*: formatted-output errors surface through the
+//     underlying writer's Flush/Close, which this analyzer does check;
+//   - methods on strings.Builder and bytes.Buffer, which are documented
+//     never to return a non-nil error.
+var Errcheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag discarded error returns (bare calls and _ assignments)",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false // deferred cleanup is best-effort by convention
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok || errcheckExempt(pass, call) {
+				return true
+			}
+			if errorResultPositions(pass, call) != nil {
+				pass.Reportf(call.Pos(), "result of %s contains an error that is discarded; handle it or lint:allow with a reason", calleeLabel(pass, call))
+			}
+		case *ast.AssignStmt:
+			checkBlankErrorAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkBlankErrorAssign flags `_ = f()` and `v, _ := g()` forms where the
+// blanked position carries an error.
+func checkBlankErrorAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || errcheckExempt(pass, call) {
+		return
+	}
+	errPos := errorResultPositions(pass, call)
+	if errPos == nil {
+		return
+	}
+	if len(as.Lhs) == 1 {
+		// `_ = f()` with f returning exactly one value (an error).
+		if isBlank(as.Lhs[0]) {
+			pass.Reportf(as.Pos(), "error result of %s assigned to _; handle it or lint:allow with a reason", calleeLabel(pass, call))
+		}
+		return
+	}
+	for _, i := range errPos {
+		if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+			pass.Reportf(as.Lhs[i].Pos(), "error result of %s assigned to _; handle it or lint:allow with a reason", calleeLabel(pass, call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errorResultPositions returns the indices of error-typed results of the
+// call, or nil when it returns no error (or no type info is available).
+func errorResultPositions(pass *Pass, call *ast.CallExpr) []int {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := t.(type) {
+	case *types.Tuple:
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		if types.Identical(t, errType) {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// errcheckExempt reports whether the call is on the analyzer's exemption
+// list.
+func errcheckExempt(pass *Pass, call *ast.CallExpr) bool {
+	name := pass.CalleeName(call)
+	if name == "" {
+		return false
+	}
+	if strings.HasPrefix(name, "(*strings.Builder).") || strings.HasPrefix(name, "(*bytes.Buffer).") {
+		return true
+	}
+	switch name {
+	case "fmt.Print", "fmt.Printf", "fmt.Println",
+		"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		return true
+	}
+	return false
+}
+
+// calleeLabel names the call for diagnostics, falling back to "call" for
+// dynamic callees.
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	if name := pass.CalleeName(call); name != "" {
+		return name
+	}
+	return "call"
+}

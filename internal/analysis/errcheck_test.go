@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestErrcheckGolden(t *testing.T) {
+	runGolden(t, "errcheck", "repro/internal/latticeio", "errcheck", []*Analyzer{Errcheck})
+}

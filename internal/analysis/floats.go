@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Floats enforces floating-point hygiene:
+//
+//   - `==` / `!=` between floating-point operands is flagged everywhere:
+//     after any arithmetic, exact equality is a rounding accident. The few
+//     intentional exact comparisons (IEEE-754 sentinel checks such as
+//     skipping exactly-zero mass) carry lint:allow annotations explaining
+//     why exactness is correct there.
+//   - math.Log(math.Exp(x)) and math.Exp(math.Log(x)) are flagged: the
+//     round-trip loses precision (and over/underflows) for the values this
+//     codebase cares about; use x directly or the internal/prob log-space
+//     helpers.
+//   - multiplying into a float accumulator declared outside a range loop
+//     is flagged: naive probability products underflow long before the
+//     posterior does, which is exactly what internal/prob's log-space and
+//     compensated-summation helpers exist to prevent.
+var Floats = &Analyzer{
+	Name: "floats",
+	Doc: "flag exact float comparisons, log/exp round-trips, and naive " +
+		"probability-product accumulation",
+	Run: runFloats,
+}
+
+func runFloats(pass *Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				checkFloatComparison(pass, n)
+			}
+		case *ast.CallExpr:
+			checkLogExpRoundTrip(pass, n)
+		case *ast.RangeStmt:
+			checkProductAccumulation(pass, n)
+		}
+		return true
+	})
+}
+
+func checkFloatComparison(pass *Pass, cmp *ast.BinaryExpr) {
+	xt, yt := pass.Info.Types[cmp.X], pass.Info.Types[cmp.Y]
+	if xt.Value != nil && yt.Value != nil {
+		return // constant comparison, folded at compile time
+	}
+	if (xt.Type != nil && isFloat(xt.Type)) || (yt.Type != nil && isFloat(yt.Type)) {
+		pass.Reportf(cmp.OpPos,
+			"%s on floating-point operands; compare with an explicit tolerance, or lint:allow with the reason exactness is intended", cmp.Op)
+	}
+}
+
+func checkLogExpRoundTrip(pass *Pass, call *ast.CallExpr) {
+	outer := pass.CalleeName(call)
+	var inverse string
+	switch outer {
+	case "math.Log":
+		inverse = "math.Exp"
+	case "math.Exp":
+		inverse = "math.Log"
+	default:
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok || pass.CalleeName(inner) != inverse {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s(%s(x)) round-trip loses precision and over/underflows; use x directly or the internal/prob log-space helpers",
+		shortName(outer), shortName(inverse))
+}
+
+func shortName(full string) string {
+	if i := len("math."); len(full) > i {
+		return full[i:]
+	}
+	return full
+}
+
+// checkProductAccumulation flags `acc *= term` inside a range loop when
+// acc is a float declared outside the loop — the naive-product shape that
+// underflows for per-state probabilities.
+func checkProductAccumulation(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// Do not descend into nested loops or function literals: their
+		// accumulators are judged against their own enclosing range.
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.MUL_ASSIGN {
+			return true
+		}
+		if id := floatIdentDeclaredOutside(pass, as.Lhs[0], rs); id != nil {
+			pass.Reportf(as.Pos(),
+				"float product accumulated into %s across a loop underflows for probability-scale terms; accumulate in log space (internal/prob.LogSumExp/LogAdd)", id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestFloatsGolden(t *testing.T) {
+	runGolden(t, "floats", "repro/internal/prob", "floats", []*Analyzer{Floats})
+}
+
+func TestFloatsModuleWide(t *testing.T) {
+	// Float hygiene is not package-gated: the same diagnostics fire under
+	// any import path.
+	a := loadAndRun(t, "floats", "repro/internal/prob", []*Analyzer{Floats})
+	b := loadAndRun(t, "floats", "repro/cmd/sbgt-bench", []*Analyzer{Floats})
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("floats diagnostics differ by package: %d vs %d", len(a), len(b))
+	}
+}

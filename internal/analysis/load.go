@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked, non-test package of the module.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// newInfo returns a types.Info with every map analyzers need populated.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// moduleImporter resolves module-local import paths from the packages
+// type-checked so far and delegates everything else (the standard
+// library) to the compiler's default importer.
+type moduleImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at dir (the directory containing go.mod). Packages are
+// returned in dependency order. _test.go files, testdata directories, and
+// hidden directories are skipped: the lint invariants govern shipped
+// code, while tests intentionally exercise edge cases (ad-hoc goroutines,
+// exact comparisons) the analyzers forbid elsewhere.
+func LoadModule(dir string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Discover package directories.
+	var dirs []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	// Parse each directory into an unchecked package.
+	fset := token.NewFileSet()
+	type parsed struct {
+		pkg     *Package
+		imports []string
+	}
+	byPath := make(map[string]*parsed)
+	var order []string
+	for _, pdir := range dirs {
+		rel, err := filepath.Rel(dir, pdir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := modPath
+		if rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		files, err := parseDir(fset, pdir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		p := &parsed{pkg: &Package{Path: ipath, Dir: pdir, Fset: fset, Files: files}}
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				v := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(v, modPath+"/") && !seen[v] {
+					seen[v] = true
+					p.imports = append(p.imports, v)
+				}
+			}
+		}
+		byPath[ipath] = p
+		order = append(order, ipath)
+	}
+
+	// Topologically sort by intra-module imports, then type-check in order
+	// so each package's dependencies are already available to the importer.
+	sorted, err := toposort(order, func(path string) []string {
+		if p, ok := byPath[path]; ok {
+			return p.imports
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{local: make(map[string]*types.Package), std: importer.Default()}
+	var out []*Package
+	for _, ipath := range sorted {
+		p := byPath[ipath]
+		if err := typecheck(p.pkg, imp); err != nil {
+			return nil, err
+		}
+		imp.local[ipath] = p.pkg.Types
+		out = append(out, p.pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, assigning it
+// the given import path. It is the loader the golden-file tests use:
+// testdata packages import only the standard library, and the assigned
+// path controls which package-scoped rules apply.
+func LoadDir(dir, ipath string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: ipath, Dir: dir, Fset: fset, Files: files}
+	if err := typecheck(pkg, importer.Default()); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func typecheck(pkg *Package, imp types.Importer) error {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg.Info = newInfo()
+	tpkg, err := conf.Check(pkg.Path, pkg.Fset, pkg.Files, pkg.Info)
+	if len(errs) > 0 {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, errs[0])
+	}
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	return nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (run sbgt-lint from inside the module)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// toposort orders paths so dependencies precede dependents, failing on
+// import cycles.
+func toposort(paths []string, deps func(string) []string) ([]string, error) {
+	const (
+		white = iota // unvisited
+		gray         // on stack
+		black        // done
+	)
+	state := make(map[string]int, len(paths))
+	var out []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		case black:
+			return nil
+		}
+		state[p] = gray
+		for _, d := range deps(p) {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[p] = black
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,30 @@
+// Package allow is a fixture for the lint:allow suppression mechanism.
+package allow
+
+import "errors"
+
+func work() error { return errors.New("x") }
+
+// trailing: the annotation shares the flagged line.
+func trailing() {
+	_ = work() //lint:allow errcheck fixture: intentionally discarded
+}
+
+// standalone: the annotation covers the line below it.
+func standalone() {
+	//lint:allow errcheck fixture: standalone annotation covers the next line
+	_ = work()
+}
+
+// wrongAnalyzer names a different analyzer, so errcheck still fires.
+func wrongAnalyzer() {
+	_ = work() //lint:allow floats fixture: wrong analyzer name
+}
+
+// missingReason is malformed: reported by the allow pseudo-analyzer, and
+// the underlying errcheck diagnostic still fires.
+func missingReason() {
+	_ = work() //lint:allow errcheck
+}
+
+var _ = []any{trailing, standalone, wrongAnalyzer, missingReason}

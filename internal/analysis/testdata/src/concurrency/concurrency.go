@@ -1,0 +1,66 @@
+// Package concurrency is a fixture for the concurrency analyzer. The test
+// loads it under the package path "repro/internal/stats", which is not an
+// approved substrate package, so goroutines are flagged.
+package concurrency
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	inner counter
+	flag  atomic.Bool
+}
+
+// spawn starts an ad-hoc goroutine.
+func spawn() {
+	go func() {}()
+}
+
+// value copies the mutex through its receiver.
+func (c counter) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// ptrValue is the correct spelling.
+func (c *counter) ptrValue() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// byValueParam copies the nested atomic through a parameter.
+func byValueParam(n nested) bool {
+	return n.flag.Load()
+}
+
+// copies demonstrates assignment and range copies.
+func copies(list []counter, src *counter) {
+	dup := *src
+	dup.n++
+	for _, c := range list {
+		spawnUser(c.n)
+	}
+	fresh := counter{} // a composite literal constructs a fresh value: fine
+	fresh.n++
+	byIndex(list)
+}
+
+// byIndex is the correct spelling of the range above.
+func byIndex(list []counter) {
+	for i := range list {
+		spawnUser(list[i].n)
+	}
+}
+
+func spawnUser(int) {}
+
+var _ = []any{spawn, counter.value, (*counter).ptrValue, byValueParam, copies}

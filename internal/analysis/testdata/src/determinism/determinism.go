@@ -1,0 +1,66 @@
+// Package determinism is a fixture for the determinism analyzer. The test
+// loads it under the package path "repro/internal/lattice" so the
+// numeric-package rules apply.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seedFromClock ties results to the wall clock.
+func seedFromClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// draw uses the global, schedule-dependent generator.
+func draw() float64 {
+	return rand.Float64()
+}
+
+// accumulateCompound sums floats in map order.
+func accumulateCompound(weights map[string]float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// accumulateAssign is the x = x + w spelling of the same hazard.
+func accumulateAssign(weights map[int]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total = total + w
+	}
+	return total
+}
+
+// perKeyIsFine writes each key once; order cannot matter.
+func perKeyIsFine(weights map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(weights))
+	for k, w := range weights {
+		out[k] = w * 2
+	}
+	return out
+}
+
+// intCountIsFine accumulates an int; integer addition is associative.
+func intCountIsFine(weights map[int]float64) int {
+	n := 0
+	for range weights {
+		n++
+	}
+	return n
+}
+
+// sliceAccumulationIsFine ranges a slice, not a map: order is fixed.
+func sliceAccumulationIsFine(ws []float64) float64 {
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	return total
+}
+
+var _ = []any{seedFromClock, draw, accumulateCompound, accumulateAssign, perKeyIsFine, intCountIsFine, sliceAccumulationIsFine}

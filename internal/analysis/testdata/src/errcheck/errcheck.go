@@ -1,0 +1,58 @@
+// Package errcheck is a fixture for the errcheck analyzer.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 7 }
+
+// bare drops the error on the floor.
+func bare() {
+	work()
+}
+
+// blank hides the drop behind the blank identifier.
+func blank() {
+	_ = work()
+}
+
+// blankTuple keeps the value but drops the error.
+func blankTuple() int {
+	n, _ := multi()
+	return n
+}
+
+// handled is the correct spelling.
+func handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	n, err := multi()
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("n=%d", n)
+}
+
+// deferred cleanup is best-effort by convention; not flagged.
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+// exemptions: fmt printing and never-failing writers.
+func printing(b *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintf(b, "x")
+	b.WriteString("y")
+	pure()
+}
+
+var _ = []any{bare, blank, blankTuple, handled, deferred, printing}

@@ -1,0 +1,77 @@
+// Package floats is a fixture for the float-hygiene analyzer.
+package floats
+
+import "math"
+
+// compareEq and compareNeq are rounding accidents waiting to happen.
+func compareEq(a, b float64) bool {
+	return a == b
+}
+
+func compareNeq(a, b float64) bool {
+	return a != b
+}
+
+// compareLiteral is also flagged: a computed value rarely lands on an
+// exact literal. Intentional sentinel checks carry lint:allow.
+func compareLiteral(x float64) bool {
+	return x == 0
+}
+
+// compare32 covers float32 operands.
+func compare32(a float32, b float64) bool {
+	return float64(a) == b
+}
+
+// intCompare is exact arithmetic; not flagged.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// constFold is folded at compile time; not flagged.
+func constFold() bool {
+	return 0.1+0.2 == 0.3
+}
+
+// roundTrip and inverseRoundTrip cancel catastrophically.
+func roundTrip(x float64) float64 {
+	return math.Log(math.Exp(x))
+}
+
+func inverseRoundTrip(x float64) float64 {
+	return math.Exp(math.Log(x))
+}
+
+// logOnly is fine.
+func logOnly(x float64) float64 {
+	return math.Log(x)
+}
+
+// naiveProduct underflows for probability-scale terms.
+func naiveProduct(ps []float64) float64 {
+	prod := 1.0
+	for _, p := range ps {
+		prod *= p
+	}
+	return prod
+}
+
+// scaleInPlace multiplies element-wise, not into an accumulator; fine.
+func scaleInPlace(ps []float64, c float64) {
+	for i := range ps {
+		ps[i] *= c
+	}
+}
+
+// boundedBitProduct uses a plain for loop, the shape the lattice prior
+// kernels use for products of at most 64 odds; exempt by design.
+func boundedBitProduct(odds []float64, state uint64) float64 {
+	w := 1.0
+	for v := state; v != 0; v &= v - 1 {
+		w *= odds[v%uint64(len(odds))]
+	}
+	return w
+}
+
+var _ = []any{compareEq, compareNeq, compareLiteral, compare32, intCompare, constFold,
+	roundTrip, inverseRoundTrip, logOnly, naiveProduct, scaleInPlace, boundedBitProduct}

@@ -196,7 +196,7 @@ func (m *Model) SelectHalving(maxPool int) bitvec.Mask {
 		}
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		if marg[order[a]] != marg[order[b]] {
+		if marg[order[a]] != marg[order[b]] { //lint:allow floats exact inequality is a deterministic sort tie-break, not a numeric test
 			return marg[order[a]] > marg[order[b]]
 		}
 		return order[a] < order[b]
@@ -226,6 +226,7 @@ func (m *Model) SelectHalving(maxPool int) bitvec.Mask {
 	for i, c := range cands {
 		score := math.Abs(masses[i] - 0.5)
 		if score < bestScore ||
+			//lint:allow floats exact equality is the deterministic argmin tie-break
 			(score == bestScore && (c.Count() < best.Count() || (c.Count() == best.Count() && c < best))) {
 			best, bestScore = c, score
 		}

@@ -51,13 +51,13 @@ func binomPMF(n, k int, p float64) float64 {
 	if k < 0 || k > n {
 		return 0
 	}
-	if p == 0 {
+	if p == 0 { //lint:allow floats exact degenerate endpoint of the PMF
 		if k == 0 {
 			return 1
 		}
 		return 0
 	}
-	if p == 1 {
+	if p == 1 { //lint:allow floats exact degenerate endpoint of the PMF
 		if k == n {
 			return 1
 		}

@@ -110,7 +110,7 @@ func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.
 func (m *Model) Close() {
 	for _, c := range m.conns {
 		if c.nc != nil {
-			c.nc.Close()
+			c.nc.Close() //lint:allow errcheck one-way teardown; a close error leaves nothing to recover
 		}
 	}
 	m.conns = nil
@@ -119,7 +119,7 @@ func (m *Model) Close() {
 // Shutdown asks every executor process to exit, then closes connections.
 func (m *Model) Shutdown() {
 	for _, c := range m.conns {
-		_, _ = c.call(Request{Op: OpShutdown})
+		_, _ = c.call(Request{Op: OpShutdown}) //lint:allow errcheck best-effort shutdown fan-out; executor exit races the response
 	}
 	m.Close()
 }

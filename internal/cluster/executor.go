@@ -47,7 +47,9 @@ func (e *Executor) Serve(l net.Listener) error {
 			return err
 		}
 		shutdown := e.handle(conn)
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			log.Printf("cluster executor: close conn: %v", err)
+		}
 		if shutdown {
 			return nil
 		}
@@ -68,6 +70,7 @@ func (e *Executor) handle(conn net.Conn) bool {
 			return false
 		}
 		if req.Op == OpShutdown {
+			//lint:allow errcheck best-effort shutdown ack; the driver may already have hung up
 			_ = enc.Encode(Response{Op: OpShutdown})
 			return true
 		}
@@ -240,7 +243,7 @@ func (e *Executor) marginals(Request) Response {
 	// and is still distributed across executors; shards are the unit of
 	// parallelism for vector-valued reductions on the wire.
 	for j, w := range e.data {
-		if w == 0 {
+		if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 			continue
 		}
 		for v := e.lo + uint64(j); v != 0; v &= v - 1 {
@@ -288,7 +291,7 @@ func (e *Executor) entropy(req Request) Response {
 func (e *Executor) intersect(req Request) Response {
 	out := make([]float64, bits.OnesCount64(req.Pool)+1)
 	for j, w := range e.data {
-		if w == 0 {
+		if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 			continue
 		}
 		out[bits.OnesCount64((e.lo+uint64(j))&req.Pool)] += w
@@ -321,7 +324,7 @@ func (e *Executor) prefixScan(req Request) Response {
 	}
 	out := make([]float64, k+1)
 	for j, w := range e.data {
-		if w == 0 {
+		if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 			continue
 		}
 		rmin := uint8(k)

@@ -109,10 +109,10 @@ func (c *Config) withDefaults() (Config, error) {
 			return out, fmt.Errorf("core: lookahead requires the halving strategy, have %s", out.Strategy.Name())
 		}
 	}
-	if out.PosThreshold == 0 {
+	if out.PosThreshold == 0 { //lint:allow floats the zero value marks the field unset
 		out.PosThreshold = 0.99
 	}
-	if out.NegThreshold == 0 {
+	if out.NegThreshold == 0 { //lint:allow floats the zero value marks the field unset
 		out.NegThreshold = 0.01
 	}
 	if !(out.NegThreshold > 0 && out.NegThreshold < out.PosThreshold && out.PosThreshold < 1) {

@@ -46,7 +46,7 @@ func (o Outcome) String() string {
 	if !o.Positive {
 		return "negative"
 	}
-	if o.Ct != 0 {
+	if o.Ct != 0 { //lint:allow floats the zero value marks the Ct readout absent
 		return fmt.Sprintf("positive(Ct=%.1f)", o.Ct)
 	}
 	return "positive"

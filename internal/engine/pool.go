@@ -37,7 +37,14 @@ type Pool struct {
 	workers int
 	tasks   chan func()
 	lifecyc sync.WaitGroup
-	closed  atomic.Bool
+
+	// mu makes submit's closed-check-then-send atomic with respect to
+	// Close's close(tasks): submitters hold it shared for the send, Close
+	// holds it exclusively while marking closed. A plain atomic flag is not
+	// enough — a Close between the load and the send would panic the
+	// submitter with a send on a closed channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewPool returns a pool with the given number of workers; workers <= 0
@@ -69,8 +76,14 @@ func (p *Pool) Workers() int { return p.workers }
 // Close shuts the workers down and waits for them to exit. Close is
 // idempotent. Operations submitted after Close run inline on the caller.
 func (p *Pool) Close() {
-	if p.closed.CompareAndSwap(false, true) {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	if !already {
 		close(p.tasks)
+	}
+	p.mu.Unlock()
+	if !already {
 		p.lifecyc.Wait()
 	}
 }
@@ -79,13 +92,17 @@ func (p *Pool) Close() {
 // every worker is saturated (which also makes accidental nesting safe
 // instead of deadlocking).
 func (p *Pool) submit(fn func()) {
-	if p.closed.Load() {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
 		fn()
 		return
 	}
 	select {
 	case p.tasks <- fn:
+		p.mu.RUnlock()
 	default:
+		p.mu.RUnlock()
 		fn()
 	}
 }

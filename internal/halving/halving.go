@@ -103,7 +103,7 @@ func prefixOrder(marg []float64, maxPool int) []int {
 		}
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		if marg[order[a]] != marg[order[b]] {
+		if marg[order[a]] != marg[order[b]] { //lint:allow floats exact inequality is a deterministic sort tie-break, not a numeric test
 			return marg[order[a]] > marg[order[b]]
 		}
 		return order[a] < order[b]
@@ -154,6 +154,7 @@ func pickBest(cands []bitvec.Mask, masses []float64) Selection {
 	for i, c := range cands {
 		score := math.Abs(masses[i] - 0.5)
 		if score < best.Score ||
+			//lint:allow floats exact equality is the deterministic argmin tie-break
 			(score == best.Score && (c.Count() < best.Pool.Count() ||
 				(c.Count() == best.Pool.Count() && c < best.Pool))) {
 			best = Selection{Pool: c, NegMass: masses[i], Score: score}

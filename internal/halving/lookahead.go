@@ -100,6 +100,7 @@ func SelectLookahead(m *lattice.Model, depth int, opts Options) []Selection {
 		best := Selection{Score: math.Inf(1)}
 		for i, c := range cands {
 			if scores[i] < best.Score ||
+				//lint:allow floats exact equality is the deterministic argmin tie-break
 				(scores[i] == best.Score && c.Count() < best.Pool.Count()) {
 				best = Selection{Pool: c, NegMass: negUnderMix[i], Score: scores[i], Scanned: len(cands) * len(branches)}
 			}

@@ -40,7 +40,7 @@ func (m *Model) CredibleSet(level float64) ([]bitvec.Mask, float64) {
 		entries = append(entries, entry{uint64(len(entries)), w})
 	}
 	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].mass != entries[b].mass {
+		if entries[a].mass != entries[b].mass { //lint:allow floats exact inequality is a deterministic sort tie-break, not a numeric test
 			return entries[a].mass > entries[b].mass
 		}
 		return entries[a].state < entries[b].state

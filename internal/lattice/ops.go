@@ -18,7 +18,7 @@ func (m *Model) Marginals() []float64 {
 	return m.post.ReduceVec(m.n, func(_ int, offset uint64, data []float64, out []float64) {
 		for j := range data {
 			w := data[j]
-			if w == 0 {
+			if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 				continue
 			}
 			for v := offset + uint64(j); v != 0; v &= v - 1 {
@@ -103,7 +103,7 @@ func (m *Model) PrefixNegMasses(order []int) []float64 {
 	hist := m.post.ReduceVec(k+1, func(_ int, offset uint64, data []float64, out []float64) {
 		for j := range data {
 			w := data[j]
-			if w == 0 {
+			if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 				continue
 			}
 			rmin := uint8(k)
@@ -135,7 +135,7 @@ func (m *Model) IntersectDist(pool bitvec.Mask) []float64 {
 	size := pool.Count()
 	return m.post.ReduceVec(size+1, func(_ int, offset uint64, data []float64, out []float64) {
 		for j := range data {
-			if w := data[j]; w != 0 {
+			if w := data[j]; w != 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 				out[bits.OnesCount64((offset+uint64(j))&pm)] += w
 			}
 		}
@@ -150,7 +150,7 @@ func (m *Model) Predictive(pool bitvec.Mask, y dilution.Outcome) float64 {
 	size := pool.Count()
 	var acc prob.Accumulator
 	for k := 0; k <= size; k++ {
-		if dist[k] != 0 {
+		if dist[k] != 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 			acc.Add(dist[k] * m.resp.Likelihood(y, k, size))
 		}
 	}
@@ -192,7 +192,7 @@ func (m *Model) MAP() (bitvec.Mask, float64) {
 	})
 	top := best{mass: math.Inf(-1)}
 	for _, b := range parts {
-		if b.mass > top.mass || (b.mass == top.mass && b.state < top.state) {
+		if b.mass > top.mass || (b.mass == top.mass && b.state < top.state) { //lint:allow floats exact equality is the deterministic argmax tie-break
 			top = b
 		}
 	}
@@ -209,7 +209,7 @@ func (m *Model) ExpectedInfected() float64 {
 	return m.post.ReduceSum(func(_ int, offset uint64, data []float64) prob.Accumulator {
 		var acc prob.Accumulator
 		for j := range data {
-			if w := data[j]; w != 0 {
+			if w := data[j]; w != 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 				acc.Add(w * float64(bits.OnesCount64(offset+uint64(j))))
 			}
 		}

@@ -1,0 +1,75 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLogSumExp checks the log-space reduction invariants that the lattice
+// posterior updates lean on: LogSumExp dominates its max term, agrees with
+// the naive linear-space sum when that sum cannot overflow, agrees with
+// pairwise LogAdd, and is invariant under reordering.
+func FuzzLogSumExp(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-1.5, -2.5, -3.5, -700.0)
+	f.Add(math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1))
+	f.Add(math.Inf(-1), -0.1, -744.44, 0.0)
+	f.Add(700.0, 700.0, 700.0, 700.0)
+	f.Add(-1e-12, 1e-12, -1e300, 1e300)
+
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		xs := []float64{a, b, c, d}
+		maxV := math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 1) {
+				return // outside the log-probability domain
+			}
+			if x > maxV {
+				maxV = x
+			}
+		}
+
+		lse := LogSumExp(xs)
+		if math.IsNaN(lse) {
+			t.Fatalf("LogSumExp(%v) = NaN", xs)
+		}
+		// The sum of exp terms dominates its largest term.
+		if lse < maxV-1e-12 {
+			t.Fatalf("LogSumExp(%v) = %v below max term %v", xs, lse, maxV)
+		}
+		// With len(xs) terms it is bounded above by max + log(len).
+		if lse > maxV+math.Log(float64(len(xs)))+1e-12 {
+			t.Fatalf("LogSumExp(%v) = %v above max+log(n) bound", xs, lse)
+		}
+
+		// Against the naive sum, where exp neither over- nor underflows.
+		naiveOK := true
+		sum := 0.0
+		for _, x := range xs {
+			if x < -700 || x > 700 {
+				naiveOK = false
+				break
+			}
+			sum += math.Exp(x)
+		}
+		if naiveOK && !math.IsInf(sum, 1) && sum > 0 {
+			want := math.Log(sum)
+			if diff := math.Abs(lse - want); diff > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("LogSumExp(%v) = %v, naive log-sum = %v (diff %v)", xs, lse, want, diff)
+			}
+		}
+
+		// Pairwise LogAdd folds to the same total.
+		folded := LogAdd(LogAdd(a, b), LogAdd(c, d))
+		if delta := math.Abs(lse - folded); !(math.IsInf(lse, -1) && math.IsInf(folded, -1)) && delta > 1e-9*math.Max(1, math.Abs(lse)) {
+			t.Fatalf("LogSumExp(%v) = %v but LogAdd fold = %v", xs, lse, folded)
+		}
+
+		// Order independence.
+		rev := []float64{d, c, b, a}
+		lseRev := LogSumExp(rev)
+		if !(math.IsInf(lse, -1) && math.IsInf(lseRev, -1)) && math.Abs(lse-lseRev) > 1e-9*math.Max(1, math.Abs(lse)) {
+			t.Fatalf("LogSumExp not order-independent: %v vs %v", lse, lseRev)
+		}
+	})
+}

@@ -64,7 +64,7 @@ func Log1mExp(x float64) float64 {
 	if x > 0 {
 		return math.NaN()
 	}
-	if x == 0 {
+	if x == 0 { //lint:allow floats exact domain boundary: log(1-exp(0)) is -Inf by definition
 		return math.Inf(-1)
 	}
 	const ln2 = 0.6931471805599453

@@ -37,10 +37,10 @@ func KL(p, q []float64) float64 {
 	}
 	var acc Accumulator
 	for i := range p {
-		if p[i] == 0 {
+		if p[i] == 0 { //lint:allow floats exact-zero support check: 0·log(0/q) is 0 by convention
 			continue
 		}
-		if q[i] == 0 {
+		if q[i] == 0 { //lint:allow floats exact-zero support check defines KL = +Inf
 			return math.Inf(1)
 		}
 		acc.Add(p[i] * math.Log(p[i]/q[i]))

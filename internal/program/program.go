@@ -124,7 +124,7 @@ func assign(risks []float64, size int, mode Assignment) []cohortOf {
 	}
 	if mode == AssignSorted {
 		sort.SliceStable(order, func(a, b int) bool {
-			if risks[order[a]] != risks[order[b]] {
+			if risks[order[a]] != risks[order[b]] { //lint:allow floats exact inequality is a deterministic sort tie-break, not a numeric test
 				return risks[order[a]] < risks[order[b]]
 			}
 			return order[a] < order[b]

@@ -122,7 +122,7 @@ func (r *Source) NormFloat64() float64 {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
 		s := u*u + v*v
-		if s >= 1 || s == 0 {
+		if s >= 1 || s == 0 { //lint:allow floats polar-method rejection: the exact origin has no defined angle
 			continue
 		}
 		f := math.Sqrt(-2 * math.Log(s) / s)

@@ -363,7 +363,7 @@ func (m *Model) CredibleSet(level float64) ([]bitvec.Mask, float64) {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if m.mass[idx[a]] != m.mass[idx[b]] {
+		if m.mass[idx[a]] != m.mass[idx[b]] { //lint:allow floats exact inequality is a deterministic sort tie-break, not a numeric test
 			return m.mass[idx[a]] > m.mass[idx[b]]
 		}
 		return m.states[idx[a]] < m.states[idx[b]]

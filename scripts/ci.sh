@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Full CI gate: build, vet, repo-invariant lint, tests, race tests, fuzz
+# smoke. Mirrors .github/workflows/ci.yml so the same gate runs locally via
+# `make ci`. Fails on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go build =='
+go build ./...
+
+echo '== go vet =='
+go vet ./...
+
+echo '== sbgt-lint =='
+go run ./cmd/sbgt-lint ./...
+
+echo '== go test =='
+go test ./...
+
+echo '== go test -race (concurrency substrate) =='
+go test -race ./internal/engine ./internal/cluster ./internal/bench
+
+echo '== fuzz smoke (10s each) =='
+go test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
+go test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fuzztime 10s
+
+echo 'CI gate passed.'
