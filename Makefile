@@ -16,9 +16,11 @@ vet:
 lint:
 	$(GO) run ./cmd/sbgt-lint ./...
 
-# Race-detector pass over the packages that own goroutines.
+# Race-detector pass over the packages that own goroutines, plus the
+# backend conformance suite (which drives the cluster backend end to end
+# over loopback TCP). Short mode keeps the statistical loops out.
 race:
-	$(GO) test -race ./internal/engine ./internal/cluster ./internal/bench
+	$(GO) test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core
 
 # Short fuzz smoke over the numeric-kernel invariants.
 fuzz:

@@ -1,19 +1,15 @@
 package main
 
 import (
-	"errors"
 	"fmt"
-	"log"
-	"net"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bitvec"
-	"repro/internal/cluster"
 	"repro/internal/dilution"
 	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/lattice"
+	"repro/internal/posterior"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -131,6 +127,7 @@ func runF3(c *ctx) error {
 			cfg := stats.StudyConfig{
 				RiskGen:    func(*rng.Source) []float64 { return workload.UniformRisks(cohort, p) },
 				Response:   assay.resp,
+				Backend:    c.backend,
 				Replicates: reps,
 				Seed:       c.seed,
 				// Thresholds tighter than the lowest prevalence in the
@@ -163,6 +160,7 @@ func runF4(c *ctx) error {
 			RiskGen:    func(*rng.Source) []float64 { return workload.UniformRisks(cohort, 0.1) },
 			Response:   dilution.Ideal{},
 			Strategy:   strat,
+			Backend:    c.backend,
 			Replicates: reps,
 			Seed:       c.seed,
 			MaxStages:  stages,
@@ -219,7 +217,8 @@ func runF5(c *ctx) error {
 }
 
 // runF6 measures the distributed runtime: one update+marginals round per
-// executor count, executors in-process on loopback TCP.
+// executor count, executors in-process on loopback TCP — opened through
+// the posterior backend spec, the same path sessions and studies use.
 func runF6(c *ctx) error {
 	n := 18
 	if c.quick {
@@ -231,51 +230,33 @@ func runF6(c *ctx) error {
 		"executors", "update+marginals", "speedup")
 	var base time.Duration
 	for _, execs := range []int{1, 2, 4} {
-		var addrs []string
-		var cleanup []func()
-		for i := 0; i < execs; i++ {
-			l, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				return err
-			}
-			e := cluster.NewExecutor(1)
-			go func() {
-				if err := e.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
-					log.Printf("bench executor: %v", err)
-				}
-			}()
-			addrs = append(addrs, l.Addr().String())
-			cleanup = append(cleanup, func() {
-				if err := l.Close(); err != nil {
-					log.Printf("bench executor: close listener: %v", err)
-				}
-				e.Close()
-			})
-		}
-		m, err := cluster.Dial(addrs, risks, benchResponse, 2*time.Second)
+		model, err := posterior.Spec{
+			Kind:           posterior.KindCluster,
+			LocalExecutors: execs,
+			ExecWorkers:    1,
+			DialTimeout:    2 * time.Second,
+		}.Open(nil, risks, benchResponse)
 		if err != nil {
 			return err
 		}
 		outcomes := []dilution.Outcome{dilution.Negative, dilution.Positive}
 		i := 0
 		t := bench.Measure(c.reps(), 1, func() {
-			if err := m.Update(pm, outcomes[i%2]); err != nil {
+			if err := model.Update(pm, outcomes[i%2]); err != nil {
 				panic(err)
 			}
-			if _, err := m.Marginals(); err != nil {
+			if _, err := model.Marginals(); err != nil {
 				panic(err)
 			}
 			i++
 		})
-		m.Close()
-		for _, f := range cleanup {
-			f()
+		if err := model.Close(); err != nil {
+			return err
 		}
 		if base == 0 {
 			base = t.Mean
 		}
 		tab.AddRow(execs, t.Mean, bench.Speedup(base, t.Mean))
 	}
-	_ = bitvec.Mask(0) // keep bitvec linked for updatePool's type
 	return c.emit(tab)
 }

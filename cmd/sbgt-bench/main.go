@@ -12,11 +12,13 @@
 //
 // Flags:
 //
-//	-exp string   comma-separated experiment ids, or "all" (default "all")
-//	-quick        reduced problem sizes for smoke runs
-//	-csv          also emit each table as CSV after the aligned form
-//	-workers int  engine workers (0 = GOMAXPROCS)
-//	-seed uint    root seed for every randomized experiment (default 1)
+//	-exp string     comma-separated experiment ids, or "all" (default "all")
+//	-quick          reduced problem sizes for smoke runs
+//	-csv            also emit each table as CSV after the aligned form
+//	-workers int    engine workers (0 = GOMAXPROCS)
+//	-seed uint      root seed for every randomized experiment (default 1)
+//	-backend string posterior backend for the study experiments (F3, F4):
+//	                dense | sparse | cluster (default dense)
 package main
 
 import (
@@ -27,8 +29,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/posterior"
 )
 
 // experiment is one runnable evaluation artifact.
@@ -44,6 +48,7 @@ type ctx struct {
 	csv     bool
 	workers int
 	seed    uint64
+	backend posterior.Spec // posterior backend for the study experiments
 	out     *os.File
 }
 
@@ -91,6 +96,7 @@ func main() {
 		workers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
 		seed    = flag.Uint64("seed", 1, "root seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		backend = flag.String("backend", "dense", "posterior backend for the study experiments: dense | sparse | cluster")
 	)
 	flag.Parse()
 
@@ -123,11 +129,24 @@ func main() {
 		}
 	}
 
+	kind, err := posterior.ParseKind(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
 	c := &ctx{quick: *quick, csv: *csv, workers: *workers, seed: *seed, out: os.Stdout}
+	// The study experiments replicate campaigns on single-worker models, so
+	// the cluster backend gets single-worker local executors to match.
+	c.backend = posterior.Spec{
+		Kind:           kind,
+		Eps:            1e-9,
+		LocalExecutors: 2,
+		ExecWorkers:    1,
+		DialTimeout:    2 * time.Second,
+	}
 	if c.workers <= 0 {
 		c.workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("sbgt-bench: %d workers, quick=%v, seed=%d\n\n", c.workers, c.quick, c.seed)
+	fmt.Printf("sbgt-bench: %d workers, quick=%v, seed=%d, backend=%s\n\n", c.workers, c.quick, c.seed, kind)
 	for _, e := range exps {
 		if *expFlag != "all" && !want[e.id] {
 			continue

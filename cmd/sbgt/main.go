@@ -8,12 +8,15 @@
 //
 // Flags:
 //
-//	-n int          cohort size (default 16, max 30)
+//	-n int          cohort size (default 16; max 30 dense/cluster, 64 sparse)
 //	-prev float     prior infection risk per subject (default 0.05)
 //	-profile string risk profile: uniform | beta | household (default uniform)
 //	-assay string   response model: ideal | binary | hyperbolic | logistic | ct (default hyperbolic)
+//	-backend string posterior backend: dense | sparse | cluster (default dense)
+//	-eps float      sparse backend: relative truncation threshold (default 1e-9)
+//	-execs int      cluster backend: local executors to start (default 2)
 //	-maxpool int    pool size cap (default 16)
-//	-lookahead int  pools selected per stage (default 1)
+//	-lookahead int  pools selected per stage (default 1; dense backend only)
 //	-seed uint      RNG seed (default 1)
 //	-workers int    engine workers (default GOMAXPROCS)
 //	-quiet          only print the final summary
@@ -44,6 +47,9 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "only print the final summary")
 		saveTo    = flag.String("save", "", "checkpoint the session to this file after every stage")
 		resume    = flag.String("resume", "", "resume from this checkpoint instead of starting fresh")
+		backend   = flag.String("backend", "dense", "posterior backend: dense | sparse | cluster")
+		eps       = flag.Float64("eps", 1e-9, "sparse backend: relative truncation threshold")
+		execs     = flag.Int("execs", 2, "cluster backend: local executors to start")
 	)
 	flag.Parse()
 
@@ -81,14 +87,26 @@ func main() {
 		fmt.Printf("resumed from %s: stage %d, %d tests, %d subjects remaining\n",
 			*resume, sess.Stage(), sess.Tests(), sess.Remaining())
 	} else {
-		var err error
-		sess, err = eng.NewSession(sbgt.Config{
+		kind, err := sbgt.ParseBackend(*backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := eng.OpenBackend(sbgt.Backend{
+			Kind:           kind,
+			Eps:            *eps,
+			LocalExecutors: *execs,
+		}, risks, resp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err = eng.NewSessionOn(model, sbgt.Config{
 			Risks:     risks,
 			Response:  resp,
 			Strategy:  sbgt.HalvingStrategy(*maxPool, false),
 			Lookahead: *lookahead,
 		})
 		if err != nil {
+			model.Close() //lint:allow errcheck teardown on a constructor failure path; the construction error wins
 			log.Fatal(err)
 		}
 	}

@@ -67,7 +67,10 @@ func main() {
 		if pos+neg == cohort {
 			break
 		}
-		sel := sbgt.SelectPoolSparse(model, 16, false)
+		sel, err := sbgt.SelectPoolSparse(model, 16, false)
+		if err != nil {
+			log.Fatal(err)
+		}
 		y := oracle.Test(sel.Pool)
 		if err := model.Update(sel.Pool, y); err != nil {
 			log.Fatal(err)

@@ -18,6 +18,7 @@ var numericPackages = []string{
 	"internal/dilution",
 	"internal/stats",
 	"internal/sparse",
+	"internal/posterior",
 	"internal/baseline",
 	"internal/calculator",
 	"internal/rng",

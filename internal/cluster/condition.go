@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"repro/internal/prob"
+)
+
+// Condition collapses subject onto a known status and returns the reduced
+// distributed model over the remaining N−1 subjects, the cluster analogue
+// of lattice.Condition: the driver gathers the posterior (Fetch), splices
+// the subject's bit out and renormalizes locally, then scatters fresh
+// shard ranges back to the same executors (OpLoadShard).
+//
+// On success, ownership of the executor connections transfers to the
+// returned model and the receiver must not be used again (its Close
+// becomes a no-op). It returns (nil, nil) — receiver unchanged and still
+// usable — when the conditioning event has zero posterior mass, the
+// subject index is invalid, or only one subject remains. A transport
+// error mid-scatter leaves the cluster ambiguous, so both models' shared
+// connections are torn down before the error is returned.
+func (m *Model) Condition(subject int, positive bool) (*Model, error) {
+	if subject < 0 || subject >= m.n || m.n <= 1 {
+		return nil, nil
+	}
+	post, err := m.Fetch()
+	if err != nil {
+		return nil, err
+	}
+	nn := m.n - 1
+	bit := uint64(1) << uint(subject)
+	low := bit - 1
+	reduced := make([]float64, uint64(1)<<uint(nn))
+	var acc prob.Accumulator
+	for sp := range reduced {
+		old := (uint64(sp) & low) | ((uint64(sp) &^ low) << 1)
+		if positive {
+			old |= bit
+		}
+		reduced[sp] = post[old]
+		acc.Add(post[old])
+	}
+	total := acc.Value()
+	if !(total > 0) {
+		return nil, nil
+	}
+	inv := 1 / total
+	for i := range reduced {
+		reduced[i] *= inv
+	}
+
+	risks := make([]float64, 0, nn)
+	risks = append(risks, m.risks[:subject]...)
+	risks = append(risks, m.risks[subject+1:]...)
+	out := &Model{conns: m.conns, n: nn, risks: risks, resp: m.resp, tests: m.tests}
+	m.conns = nil // ownership transfers; the receiver's Close is now a no-op
+
+	// Reassign contiguous shard ranges over the halved lattice. Executors
+	// past the state count get valid empty shards, so every connection
+	// stays a member of the fan-out.
+	states := uint64(len(reduced))
+	per := states / uint64(len(out.conns))
+	rem := states % uint64(len(out.conns))
+	var off uint64
+	for i, c := range out.conns {
+		size := per
+		if uint64(i) < rem {
+			size++
+		}
+		c.lo, c.hi = off, off+size
+		off += size
+	}
+	if _, err := out.fanout(func(c *conn) Request {
+		return Request{Op: OpLoadShard, Risks: risks, Lo: c.lo, Hi: c.hi, Data: reduced[c.lo:c.hi]}
+	}); err != nil {
+		out.Close()
+		return nil, err
+	}
+	return out, nil
+}

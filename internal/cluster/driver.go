@@ -38,6 +38,12 @@ func (c *conn) call(req Request) (Response, error) {
 	return resp, nil
 }
 
+// MaxSubjects bounds the cohort size of one distributed lattice model:
+// the full 2^N lattice must fit a uint64 state count, and shards are
+// dense float64 arrays like the in-process engine's (whose own bound is
+// lattice.MaxSubjects).
+const MaxSubjects = 30
+
 // Model is the driver-side distributed lattice model. It mirrors the
 // relevant subset of lattice.Model's API; every method fans out to all
 // executors and merges partials in executor-rank order.
@@ -46,6 +52,7 @@ func (c *conn) call(req Request) (Response, error) {
 type Model struct {
 	conns []*conn
 	n     int
+	risks []float64
 	resp  dilution.Response
 	tests int
 }
@@ -53,52 +60,106 @@ type Model struct {
 // Dial connects to the executors, shards the lattice across them
 // proportionally to their order, and materializes the prior product
 // measure remotely. The model is normalized before Dial returns.
+//
+// Executors are dialed concurrently, and the deadline applies per
+// connection — covering both the TCP dial and that executor's
+// prior-materialization round — so N executors cost one timeout
+// worst-case, not N of them. timeout <= 0 means no deadline.
 func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.Duration) (*Model, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no executors")
 	}
 	n := len(risks)
-	if n == 0 || n > 30 {
-		return nil, fmt.Errorf("cluster: cohort size %d outside [1,30]", n)
+	if n == 0 || n > MaxSubjects {
+		return nil, fmt.Errorf("cluster: cohort size %d outside [1,%d]", n, MaxSubjects)
 	}
 	if resp == nil {
 		return nil, fmt.Errorf("cluster: nil response model")
+	}
+	for i, p := range risks {
+		if !(p > 0 && p < 1) {
+			return nil, fmt.Errorf("cluster: risk[%d] = %v outside (0,1)", i, p)
+		}
 	}
 	total := uint64(1) << uint(n)
 	if uint64(len(addrs)) > total {
 		return nil, fmt.Errorf("cluster: more executors (%d) than states (%d)", len(addrs), total)
 	}
-	m := &Model{n: n, resp: resp}
 	per := total / uint64(len(addrs))
 	rem := total % uint64(len(addrs))
+	conns := make([]*conn, len(addrs))
+	sums := make([]float64, len(addrs))
+	errs := make([]error, len(addrs))
 	var off uint64
+	var wg sync.WaitGroup
 	for i, addr := range addrs {
 		size := per
 		if uint64(i) < rem {
 			size++
 		}
-		nc, err := net.DialTimeout("tcp", addr, timeout)
-		if err != nil {
-			m.Close()
-			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		lo, hi := off, off+size
+		off = hi
+		wg.Add(1)
+		go func(i int, addr string, lo, hi uint64) {
+			defer wg.Done()
+			nc, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: dial %s: %w", addr, err)
+				return
+			}
+			if timeout > 0 {
+				// The same per-connection deadline also bounds the prior
+				// build: a hung executor fails this dial, not the whole
+				// fan-out serially.
+				if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+					nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
+					errs[i] = fmt.Errorf("cluster: deadline %s: %w", addr, err)
+					return
+				}
+			}
+			c := &conn{addr: addr, nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), lo: lo, hi: hi}
+			resp, err := c.call(Request{Op: OpBuildPrior, Risks: risks, Lo: lo, Hi: hi})
+			if err != nil {
+				nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
+				errs[i] = err
+				return
+			}
+			if timeout > 0 {
+				if err := nc.SetDeadline(time.Time{}); err != nil {
+					nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
+					errs[i] = fmt.Errorf("cluster: clear deadline %s: %w", addr, err)
+					return
+				}
+			}
+			conns[i] = c
+			sums[i] = resp.Sum
+		}(i, addr, lo, hi)
+	}
+	wg.Wait()
+	m := &Model{conns: make([]*conn, 0, len(addrs)), n: n, risks: append([]float64(nil), risks...), resp: resp}
+	var firstErr error
+	for i, c := range conns {
+		if c != nil {
+			m.conns = append(m.conns, c)
+		} else if firstErr == nil {
+			firstErr = errs[i] // first failure in executor-rank order
 		}
-		c := &conn{addr: addr, nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), lo: off, hi: off + size}
-		off += size
-		m.conns = append(m.conns, c)
 	}
-	// Materialize the prior in parallel across executors.
-	sums, err := m.fanoutSum(func(c *conn) Request {
-		return Request{Op: OpBuildPrior, Risks: risks, Lo: c.lo, Hi: c.hi}
-	})
-	if err != nil {
+	if firstErr != nil {
 		m.Close()
-		return nil, err
+		return nil, firstErr
 	}
-	if !(sums > 0) {
+	// Merge the prior partials in rank order and normalize remotely.
+	var acc prob.Accumulator
+	for _, s := range sums {
+		acc.Add(s)
+	}
+	sum := acc.Value()
+	if !(sum > 0) {
 		m.Close()
-		return nil, fmt.Errorf("cluster: degenerate prior (total %v)", sums)
+		return nil, fmt.Errorf("cluster: degenerate prior (total %v)", sum)
 	}
-	if err := m.scale(1 / sums); err != nil {
+	if err := m.scale(1 / sum); err != nil {
 		m.Close()
 		return nil, err
 	}
@@ -126,6 +187,12 @@ func (m *Model) Shutdown() {
 
 // N returns the cohort size.
 func (m *Model) N() int { return m.n }
+
+// Risks returns the prior risk vector (a copy).
+func (m *Model) Risks() []float64 { return append([]float64(nil), m.risks...) }
+
+// Response returns the assay model updates use.
+func (m *Model) Response() dilution.Response { return m.resp }
 
 // Executors returns the number of remote shards.
 func (m *Model) Executors() int { return len(m.conns) }

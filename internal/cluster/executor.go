@@ -89,6 +89,8 @@ func (e *Executor) dispatch(req Request) Response {
 		return Response{Op: OpPing}
 	case OpBuildPrior:
 		return e.buildPrior(req)
+	case OpLoadShard:
+		return e.loadShard(req)
 	case OpFetch:
 		if e.data == nil {
 			return errorf(req.Op, "no shard built")
@@ -155,7 +157,7 @@ func (e *Executor) reduceChunks(body func(lo, hi int) prob.Accumulator) float64 
 
 func (e *Executor) buildPrior(req Request) Response {
 	n := len(req.Risks)
-	if n == 0 || n > 30 {
+	if n == 0 || n > MaxSubjects {
 		return errorf(req.Op, "invalid cohort size %d", n)
 	}
 	total := uint64(1) << uint(n)
@@ -192,6 +194,36 @@ func (e *Executor) buildPrior(req Request) Response {
 		}
 		return acc
 	})}
+}
+
+// loadShard installs a driver-supplied shard verbatim: the scatter half of
+// driver-side conditioning (and of checkpoint restores). Unlike BuildPrior
+// it accepts an empty range, so a lattice that has shrunk below the
+// executor count still keeps every connection assigned.
+func (e *Executor) loadShard(req Request) Response {
+	n := len(req.Risks)
+	if n == 0 || n > MaxSubjects {
+		return errorf(req.Op, "invalid cohort size %d", n)
+	}
+	total := uint64(1) << uint(n)
+	if req.Lo > req.Hi || req.Hi > total {
+		return errorf(req.Op, "invalid shard range [%d,%d) of %d", req.Lo, req.Hi, total)
+	}
+	if uint64(len(req.Data)) != req.Hi-req.Lo {
+		return errorf(req.Op, "shard payload has %d states, range holds %d", len(req.Data), req.Hi-req.Lo)
+	}
+	for _, w := range req.Data {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return errorf(req.Op, "invalid shard mass %v", w)
+		}
+	}
+	e.n = n
+	e.lo = req.Lo
+	// make (not append) so an empty shard is non-nil: nil means "no shard
+	// built" to dispatch, and an empty shard is a built shard.
+	e.data = make([]float64, req.Hi-req.Lo)
+	copy(e.data, req.Data)
+	return Response{Op: req.Op}
 }
 
 func (e *Executor) updateMul(req Request) Response {

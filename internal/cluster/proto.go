@@ -37,6 +37,7 @@ const (
 	OpFetch                // return the raw shard (tests / checkpointing)
 	OpShutdown             // close the executor process
 	OpPrefix               // partial min-rank histogram for the halving prefix scan
+	OpLoadShard            // install a driver-supplied shard (conditioning / restore scatter)
 )
 
 // String names the op for errors and logs.
@@ -68,6 +69,8 @@ func (o Op) String() string {
 		return "shutdown"
 	case OpPrefix:
 		return "prefix-scan"
+	case OpLoadShard:
+		return "load-shard"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -88,6 +91,10 @@ type Request struct {
 	Order []int
 	// Scale.
 	Factor float64
+	// LoadShard: the shard's state masses, len = Hi − Lo (Risks defines N,
+	// Lo/Hi the owned range, as in BuildPrior; Lo == Hi is a valid empty
+	// shard when the lattice has shrunk below the executor count).
+	Data []float64
 }
 
 // Response is one executor→driver message.

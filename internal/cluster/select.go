@@ -1,16 +1,17 @@
 package cluster
 
 import (
-	"fmt"
-
-	"repro/internal/bitvec"
-	"repro/internal/halving"
 	"repro/internal/prob"
 )
 
 // PrefixNegMasses returns the clean masses of every nested prefix of the
 // subject ordering, distributed: each executor histograms its shard by
 // minimum order-rank, the driver merges in rank order and suffix-sums.
+//
+// Together with N, Marginals, and NegMasses this makes *Model satisfy
+// halving.Posterior, so pool selection over the distributed posterior is
+// just halving.SelectOn(m, opts) — transport failures surface as the
+// returned error.
 func (m *Model) PrefixNegMasses(order []int) ([]float64, error) {
 	k := len(order)
 	if k == 0 {
@@ -29,68 +30,4 @@ func (m *Model) PrefixNegMasses(order []int) ([]float64, error) {
 		neg[i] = acc.Value()
 	}
 	return neg, nil
-}
-
-// SelectHalving runs the Bayesian Halving Algorithm over the distributed
-// posterior. It reuses the exact selection logic of internal/halving via
-// an adapter; transport failures surface as the returned error rather
-// than a partial answer.
-func (m *Model) SelectHalving(opts halving.Options) (halving.Selection, error) {
-	ad := &posteriorAdapter{m: m}
-	sel, err := ad.trap(func() halving.Selection {
-		return halving.SelectOn(ad, opts)
-	})
-	if err != nil {
-		return halving.Selection{}, err
-	}
-	return sel, nil
-}
-
-// posteriorAdapter exposes the distributed model through the error-free
-// halving.Posterior interface. Transport errors panic with a private
-// type that trap converts back into an error — the panic never crosses
-// this package's boundary.
-type posteriorAdapter struct {
-	m *Model
-}
-
-type transportPanic struct{ err error }
-
-func (a *posteriorAdapter) trap(fn func() halving.Selection) (sel halving.Selection, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			tp, ok := r.(transportPanic)
-			if !ok {
-				panic(r) // not ours: propagate
-			}
-			err = tp.err
-		}
-	}()
-	return fn(), nil
-}
-
-func (a *posteriorAdapter) N() int { return a.m.N() }
-
-func (a *posteriorAdapter) Marginals() []float64 {
-	v, err := a.m.Marginals()
-	if err != nil {
-		panic(transportPanic{fmt.Errorf("cluster: marginals during selection: %w", err)})
-	}
-	return v
-}
-
-func (a *posteriorAdapter) NegMasses(cands []bitvec.Mask) []float64 {
-	v, err := a.m.NegMasses(cands)
-	if err != nil {
-		panic(transportPanic{fmt.Errorf("cluster: candidate scan during selection: %w", err)})
-	}
-	return v
-}
-
-func (a *posteriorAdapter) PrefixNegMasses(order []int) []float64 {
-	v, err := a.m.PrefixNegMasses(order)
-	if err != nil {
-		panic(transportPanic{fmt.Errorf("cluster: prefix scan during selection: %w", err)})
-	}
-	return v
 }

@@ -69,7 +69,7 @@ func TestPrefixScanValidation(t *testing.T) {
 	}
 }
 
-func TestSelectHalvingMatchesLocal(t *testing.T) {
+func TestSelectOnClusterMatchesLocal(t *testing.T) {
 	risks := []float64{0.05, 0.2, 0.1, 0.3, 0.15, 0.08, 0.12, 0.07}
 	resp := dilution.Binary{Sens: 0.95, Spec: 0.99}
 	pool := engine.NewPool(2)
@@ -87,7 +87,7 @@ func TestSelectHalvingMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := halving.Select(local, halving.Options{MaxPool: 6})
-	got, err := dist.SelectHalving(halving.Options{MaxPool: 6})
+	got, err := halving.SelectOn(dist, halving.Options{MaxPool: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestSelectHalvingMatchesLocal(t *testing.T) {
 	}
 }
 
-func TestSelectHalvingSurfacesTransportError(t *testing.T) {
+func TestSelectOnSurfacesTransportError(t *testing.T) {
 	// Kill the executors mid-session: the next selection must return an
 	// error, not panic or hang.
 	addrs := startExecutors(t, 1)
@@ -111,7 +111,7 @@ func TestSelectHalvingSurfacesTransportError(t *testing.T) {
 	for _, c := range m.conns {
 		c.nc.Close()
 	}
-	if _, err := m.SelectHalving(halving.Options{}); err == nil {
+	if _, err := halving.SelectOn(m, halving.Options{}); err == nil {
 		t.Fatal("selection over dead connections returned no error")
 	}
 }

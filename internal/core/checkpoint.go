@@ -9,10 +9,12 @@ import (
 	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/latticeio"
+	"repro/internal/posterior"
+	"repro/internal/sparse"
 )
 
 // sessionHeader is the gob-encoded session metadata that precedes the
-// lattice checkpoint. The selection strategy is deliberately NOT
+// posterior checkpoint. The selection strategy is deliberately NOT
 // serialized: strategies are arbitrary (possibly stateful) implementations
 // the checkpoint format cannot promise to round-trip, so LoadSession takes
 // the strategy from the caller's config — which also lets an operator
@@ -20,13 +22,17 @@ import (
 // posterior.
 type sessionHeader struct {
 	Version int
+	// Backend tags the payload that follows (a posterior.Kind). Version-1
+	// checkpoints predate the field; gob leaves it "", which reads as
+	// dense — exactly what every v1 checkpoint holds.
+	Backend string
 	Active  []int
 	Calls   []Classification
 	Stage   int
 	Tests   int
 	Entropy []float64
 	Log     []TestRecord
-	// Config echo (minus Strategy/Response, which live with the lattice
+	// Config echo (minus Strategy/Response, which live with the payload
 	// or the caller).
 	Lookahead    int
 	PosThreshold float64
@@ -36,12 +42,21 @@ type sessionHeader struct {
 	Done         bool
 }
 
-const sessionVersion = 1
+const sessionVersion = 2
+
+// sparsePayload is the gob-encoded posterior block of a sparse-backed
+// checkpoint: the retained support plus the truncation accounting, the
+// inputs of sparse.Restore.
+type sparsePayload struct {
+	Snapshot posterior.Snapshot
+}
 
 // SaveSession checkpoints a mid-campaign session: classifications made so
 // far, the stage/test counters, the test log, and — unless the session is
-// already complete — the live lattice posterior over the still-active
-// subjects.
+// already complete — the live posterior over the still-active subjects.
+// The payload is backend-tagged: dense and cluster posteriors write the
+// latticeio dense format (a cluster posterior is gathered to the driver
+// first), sparse posteriors write their retained support.
 func (s *Session) SaveSession(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	h := sessionHeader{
@@ -59,12 +74,30 @@ func (s *Session) SaveSession(w io.Writer) error {
 		Parts:        s.cfg.Parts,
 		Done:         s.model == nil,
 	}
+	var snap *posterior.Snapshot
+	if s.model != nil {
+		var err error
+		snap, err = s.model.Snapshot()
+		if err != nil {
+			return fmt.Errorf("core: snapshot posterior: %w", err)
+		}
+		h.Backend = string(snap.Kind)
+	}
 	if err := gob.NewEncoder(bw).Encode(&h); err != nil {
 		return fmt.Errorf("core: encode session header: %w", err)
 	}
-	if s.model != nil {
-		if err := latticeio.Save(bw, s.model); err != nil {
-			return fmt.Errorf("core: save lattice: %w", err)
+	if snap != nil {
+		switch snap.Kind {
+		case posterior.KindDense, posterior.KindCluster:
+			if err := latticeio.SaveRaw(bw, snap.Risks, snap.Response, snap.Tests, snap.Dense); err != nil {
+				return fmt.Errorf("core: save posterior: %w", err)
+			}
+		case posterior.KindSparse:
+			if err := gob.NewEncoder(bw).Encode(&sparsePayload{Snapshot: *snap}); err != nil {
+				return fmt.Errorf("core: save sparse posterior: %w", err)
+			}
+		default:
+			return fmt.Errorf("core: cannot checkpoint backend %q", snap.Kind)
 		}
 	}
 	return bw.Flush()
@@ -73,22 +106,28 @@ func (s *Session) SaveSession(w io.Writer) error {
 // LoadSession restores a session checkpoint onto the pool. strategy
 // supplies the selection policy for the resumed campaign (nil selects the
 // default halving strategy); it must be compatible with the Lookahead
-// recorded in the checkpoint (lookahead > 1 requires halving, as at
-// session construction).
+// recorded in the checkpoint (lookahead > 1 requires halving and the
+// dense backend, as at session construction).
+//
+// Dense checkpoints resume on the dense backend and sparse checkpoints on
+// the sparse backend. Cluster checkpoints resume as *dense* sessions: the
+// checkpoint carries the gathered posterior, and which executors to dial
+// is a deployment decision, not a checkpoint property — re-open a cluster
+// session explicitly if distribution is still wanted.
 func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Session, error) {
 	br := bufio.NewReader(r)
 	var h sessionHeader
 	if err := gob.NewDecoder(br).Decode(&h); err != nil {
 		return nil, fmt.Errorf("core: decode session header: %w", err)
 	}
-	if h.Version != sessionVersion {
+	if h.Version < 1 || h.Version > sessionVersion {
 		return nil, fmt.Errorf("core: unsupported session checkpoint version %d", h.Version)
 	}
 	if len(h.Calls) == 0 {
 		return nil, fmt.Errorf("core: checkpoint has no subjects")
 	}
 	if !h.Done && len(h.Active) == 0 {
-		return nil, fmt.Errorf("core: checkpoint claims live lattice but has no active subjects")
+		return nil, fmt.Errorf("core: checkpoint claims live posterior but has no active subjects")
 	}
 	for _, g := range h.Active {
 		if g < 0 || g >= len(h.Calls) {
@@ -104,14 +143,44 @@ func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Se
 		log:     h.Log,
 	}
 	if !h.Done {
-		model, err := latticeio.Load(br, pool, h.Parts)
-		if err != nil {
-			return nil, fmt.Errorf("core: load lattice: %w", err)
+		backend := posterior.Kind(h.Backend)
+		if backend == "" {
+			backend = posterior.KindDense // version-1 checkpoints are dense
+		}
+		var model posterior.Model
+		switch backend {
+		case posterior.KindDense, posterior.KindCluster:
+			lm, err := latticeio.Load(br, pool, h.Parts)
+			if err != nil {
+				return nil, fmt.Errorf("core: load posterior: %w", err)
+			}
+			model = posterior.FromLattice(lm)
+		case posterior.KindSparse:
+			var p sparsePayload
+			if err := gob.NewDecoder(br).Decode(&p); err != nil {
+				return nil, fmt.Errorf("core: load sparse posterior: %w", err)
+			}
+			sm, err := sparse.Restore(sparse.Config{
+				Risks:    p.Snapshot.Risks,
+				Response: p.Snapshot.Response,
+				Eps:      p.Snapshot.Eps,
+			}, p.Snapshot.States, p.Snapshot.Mass, p.Snapshot.Pruned, p.Snapshot.Tests)
+			if err != nil {
+				return nil, fmt.Errorf("core: load sparse posterior: %w", err)
+			}
+			model = posterior.FromSparse(sm)
+		default:
+			return nil, fmt.Errorf("core: unknown checkpoint backend %q", h.Backend)
 		}
 		if model.N() != len(h.Active) {
-			return nil, fmt.Errorf("core: lattice has %d subjects, header lists %d active", model.N(), len(h.Active))
+			return nil, fmt.Errorf("core: posterior has %d subjects, header lists %d active", model.N(), len(h.Active))
 		}
 		s.model = model
+		marg, err := model.Marginals()
+		if err != nil {
+			return nil, fmt.Errorf("core: restored marginals: %w", err)
+		}
+		s.marg = marg
 		// Rebuild the config through the usual validation path so the
 		// resumed session enforces the same invariants as a fresh one.
 		cfg := Config{
@@ -127,6 +196,11 @@ func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Se
 		full, err := cfg.withDefaults()
 		if err != nil {
 			return nil, err
+		}
+		if full.Lookahead > 1 {
+			if _, ok := model.(denseBacked); !ok {
+				return nil, fmt.Errorf("core: lookahead requires the dense backend, have %s", model.Kind())
+			}
 		}
 		s.cfg = full
 	} else {

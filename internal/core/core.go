@@ -1,12 +1,16 @@
-// Package core orchestrates the SBGT surveillance loop: build the lattice
-// prior, select pools (Bayesian halving or a comparison strategy), run the
-// physical tests, fold outcomes into the posterior, classify subjects whose
-// marginals cross the decision thresholds, and collapse classified subjects
-// out of the lattice so the state space shrinks as certainty accumulates.
+// Package core orchestrates the SBGT surveillance loop: build the
+// posterior prior, select pools (Bayesian halving or a comparison
+// strategy), run the physical tests, fold outcomes into the posterior,
+// classify subjects whose marginals cross the decision thresholds, and
+// collapse classified subjects out of the model so the state space
+// shrinks as certainty accumulates.
 //
-// A Session owns one cohort's classification campaign. Subjects are
-// identified by their *global* index in the original cohort throughout;
-// internally the session maintains the mapping onto the shrinking lattice.
+// A Session owns one cohort's classification campaign and is generic
+// over the posterior representation (posterior.Model): the same loop
+// runs on the dense in-process lattice, the truncated sparse support,
+// and the distributed cluster driver. Subjects are identified by their
+// *global* index in the original cohort throughout; internally the
+// session maintains the mapping onto the shrinking model.
 package core
 
 import (
@@ -18,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/lattice"
+	"repro/internal/posterior"
 )
 
 // Status is a subject's classification state.
@@ -66,16 +71,18 @@ type TestFunc func(pool bitvec.Mask) dilution.Outcome
 // Config configures a surveillance session.
 type Config struct {
 	// Risks holds per-subject prior infection probabilities (length = cohort
-	// size, each in (0,1)). Required.
+	// size, each in (0,1)). Required for NewSession; NewSessionOn fills it
+	// from the model when nil.
 	Risks []float64
-	// Response models the pooled assay. Required.
+	// Response models the pooled assay. Required for NewSession;
+	// NewSessionOn fills it from the model when nil.
 	Response dilution.Response
 	// Strategy selects pools; nil defaults to the Bayesian Halving
 	// Algorithm with MaxPool 32.
 	Strategy halving.Strategy
 	// Lookahead > 1 selects that many pools per stage with the halving
 	// look-ahead rule (fewer lab round-trips, slightly more tests).
-	// Requires the strategy to be halving (or nil).
+	// Requires the strategy to be halving (or nil) and the dense backend.
 	Lookahead int
 	// PosThreshold classifies a subject positive when its marginal reaches
 	// it; 0 defaults to 0.99.
@@ -86,7 +93,8 @@ type Config struct {
 	// MaxStages caps the sequential stages before remaining subjects are
 	// force-classified at the posterior mode; 0 defaults to 64.
 	MaxStages int
-	// Parts is the lattice partition count (engine default when 0).
+	// Parts is the lattice partition count (engine default when 0). Dense
+	// backend only.
 	Parts int
 }
 
@@ -127,12 +135,19 @@ func (c *Config) withDefaults() (Config, error) {
 	return out, nil
 }
 
+// denseBacked is the capability the look-ahead selector needs: direct
+// access to a dense lattice. Only posterior.Dense provides it.
+type denseBacked interface {
+	Lattice() *lattice.Model
+}
+
 // Session is one cohort's classification campaign. Not safe for concurrent
-// use; the parallelism lives inside the lattice kernels.
+// use; the parallelism lives inside the posterior kernels.
 type Session struct {
 	cfg     Config
-	model   *lattice.Model // nil once every subject is classified
-	active  []int          // lattice position -> global subject index
+	model   posterior.Model // nil once every subject is classified (or Close'd)
+	active  []int           // model position -> global subject index
+	marg    []float64       // cached marginals for the active subjects
 	calls   []Classification
 	stage   int
 	tests   int
@@ -140,15 +155,46 @@ type Session struct {
 	log     []TestRecord
 }
 
-// NewSession builds the prior lattice over the whole cohort.
+// NewSession builds the prior over the whole cohort on the dense
+// in-process backend — the historical constructor, unchanged for
+// existing callers. Use NewSessionOn to run a campaign on any backend.
 func NewSession(pool *engine.Pool, cfg Config) (*Session, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	model, err := lattice.New(pool, lattice.Config{Risks: full.Risks, Response: full.Response, Parts: full.Parts})
+	model, err := posterior.NewDense(pool, lattice.Config{Risks: full.Risks, Response: full.Response, Parts: full.Parts})
 	if err != nil {
 		return nil, err
+	}
+	return NewSessionOn(model, cfg)
+}
+
+// NewSessionOn builds a session that drives the given posterior model —
+// dense, sparse, or cluster. The session takes ownership of the model:
+// it is Closed when the campaign completes (or when the session is
+// Close'd early). cfg.Risks and cfg.Response default to the model's own
+// when nil; when set, they must agree with the model.
+func NewSessionOn(model posterior.Model, cfg Config) (*Session, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil posterior model")
+	}
+	if cfg.Risks == nil {
+		cfg.Risks = model.Risks()
+	} else if len(cfg.Risks) != model.N() {
+		return nil, fmt.Errorf("core: config lists %d risks, model holds %d subjects", len(cfg.Risks), model.N())
+	}
+	if cfg.Response == nil {
+		cfg.Response = model.Response()
+	}
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if full.Lookahead > 1 {
+		if _, ok := model.(denseBacked); !ok {
+			return nil, fmt.Errorf("core: lookahead requires the dense backend, have %s", model.Kind())
+		}
 	}
 	n := len(full.Risks)
 	s := &Session{
@@ -161,7 +207,16 @@ func NewSession(pool *engine.Pool, cfg Config) (*Session, error) {
 		s.active[i] = i
 		s.calls[i] = Classification{Subject: i, Status: StatusUnknown, Marginal: full.Risks[i]}
 	}
-	s.entropy = append(s.entropy, model.Entropy())
+	marg, err := model.Marginals()
+	if err != nil {
+		return nil, fmt.Errorf("core: prior marginals: %w", err)
+	}
+	s.marg = marg
+	ent, err := model.Entropy()
+	if err != nil {
+		return nil, fmt.Errorf("core: prior entropy: %w", err)
+	}
+	s.entropy = append(s.entropy, ent)
 	return s, nil
 }
 
@@ -174,6 +229,10 @@ func (s *Session) Stage() int { return s.stage }
 // Tests returns the number of physical tests run so far.
 func (s *Session) Tests() int { return s.tests }
 
+// Model exposes the live posterior (nil once the session is done).
+// Callers must not mutate it behind the session's back.
+func (s *Session) Model() posterior.Model { return s.model }
+
 // Remaining returns the number of unclassified subjects.
 func (s *Session) Remaining() int {
 	if s.model == nil {
@@ -182,21 +241,34 @@ func (s *Session) Remaining() int {
 	return s.model.N()
 }
 
+// Close releases the posterior of a session that is being abandoned
+// mid-campaign (the backend may hold connections or local executors).
+// The session reads as Done afterwards. Idempotent; completed sessions
+// are already closed.
+func (s *Session) Close() error {
+	if s.model == nil {
+		return nil
+	}
+	err := s.model.Close()
+	s.model = nil
+	return err
+}
+
 // Classifications returns the per-subject calls made so far (global order).
-// Unclassified subjects have StatusUnknown and their current marginal.
+// Unclassified subjects have StatusUnknown and their marginal as of the
+// last completed stage.
 func (s *Session) Classifications() []Classification {
 	out := make([]Classification, len(s.calls))
 	copy(out, s.calls)
 	if s.model != nil {
-		marg := s.model.Marginals()
 		for pos, g := range s.active {
-			out[g].Marginal = marg[pos]
+			out[g].Marginal = s.marg[pos]
 		}
 	}
 	return out
 }
 
-// globalMask maps a lattice-position mask to global subject indices.
+// globalMask maps a model-position mask to global subject indices.
 func (s *Session) globalMask(m bitvec.Mask) bitvec.Mask {
 	var out bitvec.Mask
 	for _, pos := range m.Indices() {
@@ -218,13 +290,17 @@ func (s *Session) Step(test TestFunc) error {
 	var pools []bitvec.Mask
 	if s.cfg.Lookahead > 1 {
 		h := s.cfg.Strategy.(halving.Halving)
-		depth := s.cfg.Lookahead
-		sels := halving.SelectLookahead(s.model, depth, h.Opts)
+		dense := s.model.(denseBacked) // checked at construction
+		sels := halving.SelectLookahead(dense.Lattice(), s.cfg.Lookahead, h.Opts)
 		for _, sel := range sels {
 			pools = append(pools, sel.Pool)
 		}
 	} else {
-		pools = []bitvec.Mask{s.cfg.Strategy.Next(s.model)}
+		p, err := s.cfg.Strategy.Next(s.model)
+		if err != nil {
+			return fmt.Errorf("core: strategy %s: %w", s.cfg.Strategy.Name(), err)
+		}
+		pools = []bitvec.Mask{p}
 	}
 	s.stage++
 	for _, p := range pools {
@@ -239,9 +315,15 @@ func (s *Session) Step(test TestFunc) error {
 			return fmt.Errorf("core: stage %d: %w", s.stage, err)
 		}
 	}
-	s.classify()
+	if err := s.classify(); err != nil {
+		return fmt.Errorf("core: stage %d: %w", s.stage, err)
+	}
 	if s.model != nil {
-		s.entropy = append(s.entropy, s.model.Entropy())
+		ent, err := s.model.Entropy()
+		if err != nil {
+			return fmt.Errorf("core: stage %d entropy: %w", s.stage, err)
+		}
+		s.entropy = append(s.entropy, ent)
 	}
 	return nil
 }
@@ -249,9 +331,13 @@ func (s *Session) Step(test TestFunc) error {
 // classify repeatedly conditions out the most certain subject until no
 // marginal crosses a threshold. Marginals are recomputed after each
 // collapse because conditioning shifts the survivors' posteriors.
-func (s *Session) classify() {
+func (s *Session) classify() error {
 	for s.model != nil {
-		marg := s.model.Marginals()
+		marg, err := s.model.Marginals()
+		if err != nil {
+			return err
+		}
+		s.marg = marg
 		// Most extreme crossing first: the strongest call distorts the
 		// remaining posterior least when conditioned on.
 		bestPos, bestExtremity := -1, 0.0
@@ -272,16 +358,19 @@ func (s *Session) classify() {
 			}
 		}
 		if bestPos == -1 {
-			return
+			return nil
 		}
-		s.record(bestPos, positive, marg[bestPos], false)
+		if err := s.record(bestPos, positive, marg[bestPos], false); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// record classifies the subject at lattice position pos and collapses it
-// out of the model. When it is the last subject, the model is released and
-// the session completes.
-func (s *Session) record(pos int, positive bool, marginal float64, forced bool) {
+// record classifies the subject at model position pos and collapses it
+// out of the posterior. When it is the last subject, the model is closed
+// and the session completes.
+func (s *Session) record(pos int, positive bool, marginal float64, forced bool) error {
 	g := s.active[pos]
 	status := StatusNegative
 	if positive {
@@ -289,25 +378,28 @@ func (s *Session) record(pos int, positive bool, marginal float64, forced bool) 
 	}
 	s.calls[g] = Classification{Subject: g, Status: status, Marginal: marginal, Stage: s.stage, Forced: forced}
 	if s.model.N() == 1 {
-		s.model = nil
-		s.active = nil
-		return
+		return s.Close()
 	}
-	reduced := s.model.Condition(pos, positive)
+	reduced, err := s.model.Condition(pos, positive)
+	if err != nil {
+		return err
+	}
 	if reduced == nil {
 		// Conditioning on a zero-mass event cannot happen for a threshold
 		// crossing (the marginal bounds the event mass away from zero), but
 		// a forced call at marginal exactly 0 or 1 can hit it; fall back to
-		// keeping the model and marking the subject classified only.
-		reduced = s.model.Condition(pos, !positive)
+		// the complementary event, keeping the recorded call.
+		reduced, err = s.model.Condition(pos, !positive)
+		if err != nil {
+			return err
+		}
 		if reduced == nil {
-			s.model = nil
-			s.active = nil
-			return
+			return s.Close()
 		}
 	}
 	s.model = reduced
 	s.active = append(s.active[:pos], s.active[pos+1:]...)
+	return nil
 }
 
 // Result summarizes a completed run.
@@ -347,7 +439,9 @@ func (s *Session) Run(test TestFunc) (*Result, error) {
 	for !s.Done() {
 		if s.stage >= s.cfg.MaxStages {
 			converged = false
-			s.forceRemaining()
+			if err := s.forceRemaining(); err != nil {
+				return nil, err
+			}
 			break
 		}
 		if err := s.Step(test); err != nil {
@@ -366,9 +460,13 @@ func (s *Session) Run(test TestFunc) (*Result, error) {
 
 // forceRemaining classifies every still-unknown subject at the posterior
 // mode. Calls are marked Forced so analyses can separate them.
-func (s *Session) forceRemaining() {
+func (s *Session) forceRemaining() error {
 	for s.model != nil {
-		marg := s.model.Marginals()
+		marg, err := s.model.Marginals()
+		if err != nil {
+			return err
+		}
+		s.marg = marg
 		// Most certain first, mirroring classify.
 		best, bestDist := 0, -1.0
 		for pos := range marg {
@@ -376,6 +474,9 @@ func (s *Session) forceRemaining() {
 				best, bestDist = pos, d
 			}
 		}
-		s.record(best, marg[best] >= 0.5, marg[best], true)
+		if err := s.record(best, marg[best] >= 0.5, marg[best], true); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -50,41 +50,76 @@ type Selection struct {
 	Scanned int         // candidate pools evaluated
 }
 
-// Posterior is the read surface the halving algorithm needs. Both the
-// dense engine-backed lattice.Model and the truncated sparse.Model
-// implement it, so selection runs unchanged on either representation.
+// Posterior is the read surface the halving algorithm needs. It is
+// fallible: backends whose reads can fail (the TCP cluster driver) report
+// transport errors directly instead of smuggling them through panics, and
+// infallible backends (dense lattice, truncated sparse) simply always
+// return nil errors. posterior.Model satisfies this interface, as does the
+// cluster driver; wrap a bare *lattice.Model with Dense.
 type Posterior interface {
 	N() int
-	Marginals() []float64
-	NegMasses(cands []bitvec.Mask) []float64
-	PrefixNegMasses(order []int) []float64
+	Marginals() ([]float64, error)
+	NegMasses(cands []bitvec.Mask) ([]float64, error)
+	PrefixNegMasses(order []int) ([]float64, error)
 }
+
+// denseAdapter lifts the infallible *lattice.Model onto the fallible
+// Posterior surface. Its errors are always nil.
+type denseAdapter struct{ m *lattice.Model }
+
+func (d denseAdapter) N() int                        { return d.m.N() }
+func (d denseAdapter) Marginals() ([]float64, error) { return d.m.Marginals(), nil }
+func (d denseAdapter) NegMasses(cands []bitvec.Mask) ([]float64, error) {
+	return d.m.NegMasses(cands), nil
+}
+func (d denseAdapter) PrefixNegMasses(order []int) ([]float64, error) {
+	return d.m.PrefixNegMasses(order), nil
+}
+
+// Dense exposes a dense lattice model as a Posterior (all errors nil).
+func Dense(m *lattice.Model) Posterior { return denseAdapter{m} }
 
 // Select runs the Bayesian Halving Algorithm on a dense lattice model.
 // It never returns an empty pool; for a fully certain posterior it
 // returns the best available split even though that split is far from ½.
 func Select(m *lattice.Model, opts Options) Selection {
-	return SelectOn(m, opts)
+	sel, err := SelectOn(denseAdapter{m}, opts)
+	if err != nil {
+		// The dense adapter never reports errors; reaching this is a bug.
+		panic(fmt.Sprintf("halving: dense selection failed: %v", err))
+	}
+	return sel
 }
 
-// SelectOn runs the Bayesian Halving Algorithm on any Posterior.
-func SelectOn(m Posterior, opts Options) Selection {
+// SelectOn runs the Bayesian Halving Algorithm on any Posterior. A non-nil
+// error is a failed posterior read (e.g. a lost executor), not a selection
+// quality problem; the returned Selection is zero in that case.
+func SelectOn(m Posterior, opts Options) (Selection, error) {
 	n := m.N()
 	maxPool := opts.MaxPool
 	if maxPool <= 0 || maxPool > n {
 		maxPool = n
 	}
 
-	marg := m.Marginals()
+	marg, err := m.Marginals()
+	if err != nil {
+		return Selection{}, fmt.Errorf("halving: marginals: %w", err)
+	}
 	order := prefixOrder(marg, maxPool)
-	cands, masses := scoreCandidates(m, marg, order)
+	cands, masses, err := scoreCandidates(m, marg, order)
+	if err != nil {
+		return Selection{}, err
+	}
 	best := pickBest(cands, masses)
 	best.Scanned = len(cands)
 
 	if opts.LocalSearch {
-		best = localSearch(m, best, maxPool)
+		best, err = localSearch(m, best, maxPool)
+		if err != nil {
+			return Selection{}, err
+		}
 	}
-	return best
+	return best, nil
 }
 
 // prefixOrder ranks the pool-eligible subjects for prefix candidates.
@@ -121,13 +156,16 @@ func prefixOrder(marg []float64, maxPool int) []int {
 // marginals already in hand). Singletons keep selection sane when all
 // subjects are already probably-positive. The only possible duplicate —
 // the size-1 prefix — is skipped in the singleton sweep.
-func scoreCandidates(m Posterior, marg []float64, order []int) ([]bitvec.Mask, []float64) {
+func scoreCandidates(m Posterior, marg []float64, order []int) ([]bitvec.Mask, []float64, error) {
 	n := len(marg)
 	cands := make([]bitvec.Mask, 0, len(order)+n)
 	masses := make([]float64, 0, len(order)+n)
 	var firstPrefix bitvec.Mask
 	if len(order) > 0 {
-		prefixMass := m.PrefixNegMasses(order)
+		prefixMass, err := m.PrefixNegMasses(order)
+		if err != nil {
+			return nil, nil, fmt.Errorf("halving: prefix scan: %w", err)
+		}
 		var prefix bitvec.Mask
 		for i, subj := range order {
 			prefix = prefix.With(subj)
@@ -144,7 +182,7 @@ func scoreCandidates(m Posterior, marg []float64, order []int) ([]bitvec.Mask, [
 		cands = append(cands, c)
 		masses = append(masses, 1-marg[i])
 	}
-	return cands, masses
+	return cands, masses, nil
 }
 
 // pickBest returns the candidate whose neg-mass is closest to ½; ties
@@ -168,7 +206,7 @@ func pickBest(cands []bitvec.Mask, masses []float64) Selection {
 // removals within the pool-size cap, accepting the best improvement. One
 // round only: the prefix seed is already near the optimum, and each round
 // costs a full lattice sweep.
-func localSearch(m Posterior, best Selection, maxPool int) Selection {
+func localSearch(m Posterior, best Selection, maxPool int) (Selection, error) {
 	n := m.N()
 	var cands []bitvec.Mask
 	// Additions.
@@ -194,16 +232,19 @@ func localSearch(m Posterior, best Selection, maxPool int) Selection {
 		}
 	}
 	if len(cands) == 0 {
-		return best
+		return best, nil
 	}
-	masses := m.NegMasses(cands)
+	masses, err := m.NegMasses(cands)
+	if err != nil {
+		return Selection{}, fmt.Errorf("halving: candidate scan: %w", err)
+	}
 	cand := pickBest(cands, masses)
 	cand.Scanned = best.Scanned + len(cands)
 	if cand.Score < best.Score {
-		return cand
+		return cand, nil
 	}
 	best.Scanned = cand.Scanned
-	return best
+	return best, nil
 }
 
 // String renders a selection for logs.

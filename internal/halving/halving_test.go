@@ -145,7 +145,10 @@ func TestHalvingReducesEntropyFasterThanRandom(t *testing.T) {
 			}
 		}
 		for round := 0; round < 6; round++ {
-			pool := strat.Next(m)
+			pool, err := strat.Next(Dense(m))
+			if err != nil {
+				t.Fatalf("%s: %v", strat.Name(), err)
+			}
 			k := truth.IntersectCount(pool)
 			y := m.Response().Sample(r, k, pool.Count())
 			if err := m.Update(pool, y); err != nil {
@@ -218,7 +221,10 @@ func TestSelectLookaheadDistinctStagePools(t *testing.T) {
 func TestRandomStrategy(t *testing.T) {
 	m := newModel(t, uniform(9, 0.2), dilution.Ideal{})
 	r := Random{Size: 4, Rng: rng.New(5)}
-	p := r.Next(m)
+	p, err := r.Next(Dense(m))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.Count() != 4 {
 		t.Fatalf("random pool size %d", p.Count())
 	}
@@ -227,7 +233,11 @@ func TestRandomStrategy(t *testing.T) {
 	}
 	// Default size when Size invalid.
 	r2 := Random{Rng: rng.New(5)}
-	if got := r2.Next(m).Count(); got != 5 {
+	p2, err := r2.Next(Dense(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Count(); got != 5 {
 		t.Fatalf("default random size %d, want (n+1)/2", got)
 	}
 }
@@ -235,7 +245,10 @@ func TestRandomStrategy(t *testing.T) {
 func TestIndividualStrategy(t *testing.T) {
 	risks := []float64{0.1, 0.48, 0.9}
 	m := newModel(t, risks, dilution.Ideal{})
-	p := Individual{}.Next(m)
+	p, err := Individual{}.Next(Dense(m))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p != bitvec.FromIndices(1) {
 		t.Fatalf("individual chose %v, want subject 1 (closest to 1/2)", p)
 	}
@@ -249,7 +262,10 @@ func TestDorfmanCyclesBlocks(t *testing.T) {
 	d := &Dorfman{BlockSize: 4}
 	seen := bitvec.Mask(0)
 	for i := 0; i < 3; i++ {
-		p := d.Next(m)
+		p, err := d.Next(Dense(m))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if p.Count() == 0 || p.Count() > 4 {
 			t.Fatalf("block %d size %d", i, p.Count())
 		}

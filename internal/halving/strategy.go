@@ -4,15 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/bitvec"
-	"repro/internal/lattice"
 	"repro/internal/rng"
 )
 
 // Strategy chooses the next pool to test given the current posterior.
 // Implementations must return a nonempty pool within the cohort; the
 // surveillance loop treats the returned pool as the next physical test.
+// Next consumes the fallible Posterior surface, so every strategy runs
+// unchanged on the dense, sparse, and cluster backends; a non-nil error
+// is a failed posterior read, not a selection outcome.
 type Strategy interface {
-	Next(m *lattice.Model) bitvec.Mask
+	Next(m Posterior) (bitvec.Mask, error)
 	Name() string
 }
 
@@ -22,8 +24,12 @@ type Halving struct {
 }
 
 // Next implements Strategy.
-func (h Halving) Next(m *lattice.Model) bitvec.Mask {
-	return Select(m, h.Opts).Pool
+func (h Halving) Next(m Posterior) (bitvec.Mask, error) {
+	sel, err := SelectOn(m, h.Opts)
+	if err != nil {
+		return 0, err
+	}
+	return sel.Pool, nil
 }
 
 // Name implements Strategy.
@@ -43,7 +49,7 @@ type Random struct {
 }
 
 // Next implements Strategy.
-func (r Random) Next(m *lattice.Model) bitvec.Mask {
+func (r Random) Next(m Posterior) (bitvec.Mask, error) {
 	n := m.N()
 	size := r.Size
 	if size <= 0 || size > n {
@@ -54,7 +60,7 @@ func (r Random) Next(m *lattice.Model) bitvec.Mask {
 	for _, i := range perm[:size] {
 		pool = pool.With(i)
 	}
-	return pool
+	return pool, nil
 }
 
 // Name implements Strategy.
@@ -67,8 +73,11 @@ func (r Random) Name() string { return fmt.Sprintf("random-%d", r.Size) }
 type Individual struct{}
 
 // Next implements Strategy.
-func (Individual) Next(m *lattice.Model) bitvec.Mask {
-	marg := m.Marginals()
+func (Individual) Next(m Posterior) (bitvec.Mask, error) {
+	marg, err := m.Marginals()
+	if err != nil {
+		return 0, err
+	}
 	best, bestDist := 0, 2.0
 	for i, g := range marg {
 		d := g - 0.5
@@ -79,7 +88,7 @@ func (Individual) Next(m *lattice.Model) bitvec.Mask {
 			best, bestDist = i, d
 		}
 	}
-	return bitvec.FromIndices(best)
+	return bitvec.FromIndices(best), nil
 }
 
 // Name implements Strategy.
@@ -95,7 +104,7 @@ type Dorfman struct {
 
 // Next implements Strategy. It returns the next block in round-robin
 // order, sized BlockSize (last block may be smaller).
-func (d *Dorfman) Next(m *lattice.Model) bitvec.Mask {
+func (d *Dorfman) Next(m Posterior) (bitvec.Mask, error) {
 	n := m.N()
 	bs := d.BlockSize
 	if bs <= 0 || bs > n {
@@ -107,7 +116,7 @@ func (d *Dorfman) Next(m *lattice.Model) bitvec.Mask {
 		pool = pool.With((start + i) % n)
 	}
 	d.next = (start + bs) % n
-	return pool
+	return pool, nil
 }
 
 // Name implements Strategy.

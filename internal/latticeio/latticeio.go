@@ -60,6 +60,15 @@ const chunkStates = 8192
 
 // Save writes a checkpoint of m to w.
 func Save(w io.Writer, m *lattice.Model) error {
+	return SaveRaw(w, m.Risks(), m.Response(), m.Tests(), m.Posterior().Slice())
+}
+
+// SaveRaw writes a checkpoint from raw components: the prior risks, the
+// response model, the test counter, and the full posterior in state
+// order (length 2^len(risks)). It is the payload writer any dense-shaped
+// posterior can use — the cluster driver checkpoints a gathered shard
+// array through it without materializing a lattice.Model first.
+func SaveRaw(w io.Writer, risks []float64, resp dilution.Response, tests int, post []float64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return fmt.Errorf("latticeio: write magic: %w", err)
@@ -67,18 +76,21 @@ func Save(w io.Writer, m *lattice.Model) error {
 	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
 		return fmt.Errorf("latticeio: write version: %w", err)
 	}
+	if uint64(len(post)) != uint64(1)<<uint(len(risks)) {
+		return fmt.Errorf("latticeio: posterior has %d states, cohort of %d needs %d",
+			len(post), len(risks), uint64(1)<<uint(len(risks)))
+	}
 	h := header{
-		Risks:    m.Risks(),
-		Response: m.Response(),
-		Tests:    m.Tests(),
-		States:   m.States(),
+		Risks:    append([]float64(nil), risks...),
+		Response: resp,
+		Tests:    tests,
+		States:   uint64(len(post)),
 	}
 	if err := gob.NewEncoder(bw).Encode(&h); err != nil {
 		return fmt.Errorf("latticeio: encode header: %w", err)
 	}
-	// Stream the posterior partition by partition; partitions are in
-	// state order, so the file is one contiguous state-order array.
-	post := m.Posterior().Slice()
+	// Stream the posterior in fixed-size chunks of raw little-endian
+	// float64s; the file is one contiguous state-order array.
 	buf := make([]byte, 8*chunkStates)
 	for off := 0; off < len(post); off += chunkStates {
 		end := off + chunkStates
@@ -103,34 +115,50 @@ func Save(w io.Writer, m *lattice.Model) error {
 // Load reads a checkpoint from r and rebuilds the model on pool with the
 // given partition count (0 = engine default).
 func Load(r io.Reader, pool *engine.Pool, parts int) (*lattice.Model, error) {
+	risks, resp, tests, post, err := LoadRaw(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := lattice.Restore(pool, lattice.Config{Risks: risks, Response: resp, Parts: parts}, post, tests)
+	if err != nil {
+		return nil, fmt.Errorf("latticeio: %w", err)
+	}
+	return m, nil
+}
+
+// LoadRaw reads a checkpoint from r and returns its raw components
+// (risks, response, test counter, state-order posterior) without
+// building a model — the counterpart of SaveRaw for callers that
+// restore onto a non-lattice backend.
+func LoadRaw(r io.Reader) ([]float64, dilution.Response, int, []float64, error) {
 	br := bufio.NewReader(r)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
-		return nil, fmt.Errorf("latticeio: read magic: %w", err)
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: read magic: %w", err)
 	}
 	if string(got) != magic {
-		return nil, fmt.Errorf("latticeio: bad magic %q", got)
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: bad magic %q", got)
 	}
 	var ver uint16
 	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
-		return nil, fmt.Errorf("latticeio: read version: %w", err)
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: read version: %w", err)
 	}
 	if ver != version {
-		return nil, fmt.Errorf("latticeio: unsupported version %d (want %d)", ver, version)
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: unsupported version %d (want %d)", ver, version)
 	}
 	var h header
 	if err := gob.NewDecoder(br).Decode(&h); err != nil {
-		return nil, fmt.Errorf("latticeio: decode header: %w", err)
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: decode header: %w", err)
 	}
 	if h.Response == nil {
-		return nil, fmt.Errorf("latticeio: checkpoint has no response model")
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: checkpoint has no response model")
 	}
 	n := len(h.Risks)
 	if n == 0 || n > lattice.MaxSubjects {
-		return nil, fmt.Errorf("latticeio: cohort size %d invalid", n)
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: cohort size %d invalid", n)
 	}
 	if h.States != uint64(1)<<uint(n) {
-		return nil, fmt.Errorf("latticeio: header claims %d states for %d subjects", h.States, n)
+		return nil, nil, 0, nil, fmt.Errorf("latticeio: header claims %d states for %d subjects", h.States, n)
 	}
 	post := make([]float64, h.States)
 	buf := make([]byte, 8*chunkStates)
@@ -141,15 +169,11 @@ func Load(r io.Reader, pool *engine.Pool, parts int) (*lattice.Model, error) {
 		}
 		nb := int(end-off) * 8
 		if _, err := io.ReadFull(br, buf[:nb]); err != nil {
-			return nil, fmt.Errorf("latticeio: read posterior (truncated checkpoint?): %w", err)
+			return nil, nil, 0, nil, fmt.Errorf("latticeio: read posterior (truncated checkpoint?): %w", err)
 		}
 		for i := uint64(0); i < end-off; i++ {
 			post[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 		}
 	}
-	m, err := lattice.Restore(pool, lattice.Config{Risks: h.Risks, Response: h.Response, Parts: parts}, post, h.Tests)
-	if err != nil {
-		return nil, fmt.Errorf("latticeio: %w", err)
-	}
-	return m, nil
+	return h.Risks, h.Response, h.Tests, post, nil
 }

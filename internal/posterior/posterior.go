@@ -1,0 +1,155 @@
+// Package posterior defines the one interface every posterior
+// representation in the reproduction implements, and the three conforming
+// backends: the dense engine-backed lattice (internal/lattice), the
+// truncated sparse support (internal/sparse), and the distributed TCP
+// cluster driver (internal/cluster).
+//
+// Sessions, studies, and checkpoints program against Model and stay
+// backend-generic; a shared conformance suite (conformance_test.go)
+// exercises every backend through the same scripted scenarios so a new
+// representation only has to satisfy one contract. Every method that
+// touches the posterior is fallible — the cluster backend can lose an
+// executor mid-kernel — and the in-process backends simply never fail,
+// so callers pay one uniform error path instead of a panic/trap bridge
+// per transport.
+package posterior
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/lattice"
+	"repro/internal/sparse"
+)
+
+// Kind names a posterior backend.
+type Kind string
+
+// The three backends.
+const (
+	KindDense   Kind = "dense"   // full 2^N lattice on the in-process engine
+	KindSparse  Kind = "sparse"  // truncated support with an explicit error bound
+	KindCluster Kind = "cluster" // sharded lattice across TCP executors
+)
+
+// ParseKind maps a flag value to a Kind. The empty string selects dense,
+// matching Spec's zero value.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "", KindDense:
+		return KindDense, nil
+	case KindSparse:
+		return KindSparse, nil
+	case KindCluster:
+		return KindCluster, nil
+	}
+	return "", fmt.Errorf("posterior: unknown backend %q (want dense, sparse, or cluster)", s)
+}
+
+// Model is a Bayesian posterior over the 2^N infection states of one
+// cohort, abstracted over representation. It carries exactly the surface
+// sessions need: the update/reduction kernels that drive classification
+// and halving test selection, conditioning for sequential collapse, and a
+// snapshot hook for checkpoints.
+//
+// Model is a superset of halving.Posterior, so any Model can be passed to
+// halving.SelectOn directly. Implementations are not safe for concurrent
+// use, matching the models they wrap.
+type Model interface {
+	// N returns the number of unclassified subjects.
+	N() int
+	// Kind identifies the backend.
+	Kind() Kind
+	// Risks returns the prior risk vector (a copy).
+	Risks() []float64
+	// Response returns the assay model updates use.
+	Response() dilution.Response
+	// Tests returns how many pooled-test outcomes have been absorbed.
+	Tests() int
+
+	// Update folds one observed pooled-test outcome into the posterior.
+	Update(pool bitvec.Mask, y dilution.Outcome) error
+	// Marginals returns each subject's posterior infection probability.
+	Marginals() ([]float64, error)
+	// NegMasses returns P(S ∩ cand = ∅ | data) for every candidate pool.
+	NegMasses(cands []bitvec.Mask) ([]float64, error)
+	// PrefixNegMasses returns the clean masses of every nested prefix of
+	// the subject ordering (the halving selection scan).
+	PrefixNegMasses(order []int) ([]float64, error)
+	// Entropy returns the posterior entropy in bits.
+	Entropy() (float64, error)
+
+	// Condition collapses subject onto a known status and returns the
+	// reduced model over the remaining N−1 subjects. It returns (nil, nil)
+	// — receiver unchanged and still usable — when the event has zero
+	// posterior mass, the subject index is invalid, or only one subject
+	// remains. On success, any underlying resources (e.g. cluster
+	// connections) transfer to the returned model: the receiver must not
+	// be used or Closed afterwards.
+	Condition(subject int, positive bool) (Model, error)
+
+	// Snapshot captures the posterior for checkpointing. The result is
+	// independent of the model (safe to hold across further updates).
+	Snapshot() (*Snapshot, error)
+
+	// Close releases backend resources (connections, local executors).
+	// In-process backends are no-ops. Close is idempotent.
+	Close() error
+}
+
+// Snapshot is a backend-tagged capture of a posterior, the unit
+// checkpoints serialize. Exactly one payload family is populated: Dense
+// for dense and cluster models (a cluster posterior is gathered to the
+// driver and restores as a dense model), States/Mass/Eps/Pruned for
+// sparse models.
+type Snapshot struct {
+	Kind     Kind
+	Risks    []float64
+	Response dilution.Response
+	Tests    int
+
+	// Dense / cluster payload: the full posterior in state order.
+	Dense []float64
+
+	// Sparse payload: the retained support and its truncation accounting.
+	States []uint64
+	Mass   []float64
+	Eps    float64
+	Pruned float64
+}
+
+// FromSnapshot rebuilds a Model from a snapshot. Dense and cluster
+// snapshots restore as dense models on the given pool (resuming onto a
+// live cluster is a deployment decision, not a checkpoint property);
+// sparse snapshots restore as sparse models and ignore pool. parts is the
+// dense partition count (<= 0 selects the engine default).
+func FromSnapshot(pool *engine.Pool, snap *Snapshot, parts int) (Model, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("posterior: nil snapshot")
+	}
+	switch snap.Kind {
+	case KindDense, KindCluster:
+		m, err := lattice.Restore(pool, lattice.Config{
+			Risks:    snap.Risks,
+			Response: snap.Response,
+			Parts:    parts,
+		}, snap.Dense, snap.Tests)
+		if err != nil {
+			return nil, err
+		}
+		return FromLattice(m), nil
+	case KindSparse:
+		m, err := sparse.Restore(sparse.Config{
+			Risks:    snap.Risks,
+			Response: snap.Response,
+			Eps:      snap.Eps,
+		}, snap.States, snap.Mass, snap.Pruned, snap.Tests)
+		if err != nil {
+			return nil, err
+		}
+		return FromSparse(m), nil
+	}
+	return nil, fmt.Errorf("posterior: unknown snapshot kind %q", snap.Kind)
+}

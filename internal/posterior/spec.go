@@ -1,0 +1,80 @@
+package posterior
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dilution"
+	"repro/internal/engine"
+	"repro/internal/lattice"
+	"repro/internal/sparse"
+)
+
+// Spec describes which backend to open and with what knobs. The zero
+// value selects the dense backend with engine defaults, so existing
+// callers that never mention a backend keep their behavior.
+type Spec struct {
+	// Kind selects the backend; "" means dense.
+	Kind Kind
+
+	// Parts is the dense partition count (<= 0 selects the engine
+	// default). Dense only.
+	Parts int
+
+	// Eps and MaxStates configure the sparse truncation (see
+	// sparse.Config). Sparse only.
+	Eps       float64
+	MaxStates int
+
+	// Addrs lists executor addresses to dial. Cluster only. When empty
+	// and LocalExecutors > 0, that many in-process executors are started
+	// on loopback ports and owned by the returned model (Close stops
+	// them).
+	Addrs          []string
+	LocalExecutors int
+	// ExecWorkers is each local executor's worker-pool size (<= 0 selects
+	// GOMAXPROCS).
+	ExecWorkers int
+	// DialTimeout bounds each executor's dial + prior build (<= 0 means
+	// no deadline).
+	DialTimeout time.Duration
+}
+
+// Open builds the prior posterior for the spec. pool is used by the
+// dense backend only (sparse is single-threaded, cluster executors own
+// their pools); it may be nil for the other kinds.
+func (s Spec) Open(pool *engine.Pool, risks []float64, resp dilution.Response) (Model, error) {
+	kind, err := ParseKind(string(s.Kind))
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindDense:
+		return NewDense(pool, lattice.Config{Risks: risks, Response: resp, Parts: s.Parts})
+	case KindSparse:
+		return NewSparse(sparse.Config{Risks: risks, Response: resp, Eps: s.Eps, MaxStates: s.MaxStates})
+	case KindCluster:
+		addrs := s.Addrs
+		var stop func()
+		if len(addrs) == 0 {
+			if s.LocalExecutors <= 0 {
+				return nil, fmt.Errorf("posterior: cluster backend needs executor addresses or LocalExecutors > 0")
+			}
+			var err error
+			addrs, stop, err = cluster.StartLocal(s.LocalExecutors, s.ExecWorkers)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m, err := cluster.Dial(addrs, risks, resp, s.DialTimeout)
+		if err != nil {
+			if stop != nil {
+				stop()
+			}
+			return nil, err
+		}
+		return FromCluster(m, stop), nil
+	}
+	return nil, fmt.Errorf("posterior: unknown backend %q", kind)
+}

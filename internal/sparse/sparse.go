@@ -28,6 +28,11 @@ import (
 	"repro/internal/prob"
 )
 
+// MaxSubjects bounds the cohort size of one sparse model: a state mask
+// must fit one machine word. (The dense lattice's own bound is
+// lattice.MaxSubjects; the cluster driver's is cluster.MaxSubjects.)
+const MaxSubjects = 64
+
 // Model is a truncated lattice posterior. Not safe for concurrent use.
 type Model struct {
 	n      int
@@ -68,8 +73,8 @@ func New(cfg Config) (*Model, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("sparse: empty cohort")
 	}
-	if n > 64 {
-		return nil, fmt.Errorf("sparse: cohort size %d exceeds 64", n)
+	if n > MaxSubjects {
+		return nil, fmt.Errorf("sparse: cohort size %d exceeds max %d", n, MaxSubjects)
 	}
 	if cfg.Response == nil {
 		return nil, fmt.Errorf("sparse: nil response model")
@@ -181,6 +186,20 @@ func (m *Model) Tests() int { return m.tests }
 
 // Response returns the assay model.
 func (m *Model) Response() dilution.Response { return m.resp }
+
+// Risks returns the prior risk vector (a copy).
+func (m *Model) Risks() []float64 { return append([]float64(nil), m.risks...) }
+
+// Eps returns the relative truncation threshold.
+func (m *Model) Eps() float64 { return m.eps }
+
+// SupportStates returns the retained state masks in ascending order (a
+// copy) — with SupportMass, the checkpointing counterpart of Restore.
+func (m *Model) SupportStates() []uint64 { return append([]uint64(nil), m.states...) }
+
+// SupportMass returns the retained state masses aligned with
+// SupportStates (a copy).
+func (m *Model) SupportMass() []float64 { return append([]float64(nil), m.mass...) }
 
 // StateMass returns the retained mass of state s (0 if pruned).
 func (m *Model) StateMass(s bitvec.Mask) float64 {
@@ -381,6 +400,121 @@ func (m *Model) CredibleSet(level float64) ([]bitvec.Mask, float64) {
 		}
 	}
 	return out, acc.Value()
+}
+
+// Condition collapses subject onto a known status and returns the reduced
+// model over the remaining N−1 subjects, mirroring lattice.Condition on
+// the retained support: states disagreeing with the conditioning event are
+// dropped, the subject's bit is spliced out, and the survivors are
+// renormalized. The receiver is unchanged. It returns nil when the event
+// has zero retained mass, the subject index is invalid, or only one
+// subject remains (conditioning would empty the support). The cumulative
+// Pruned() bound carries over: truncation errors made before conditioning
+// still bound the conditional posterior for the same observations.
+func (m *Model) Condition(subject int, positive bool) *Model {
+	if subject < 0 || subject >= m.n || m.n <= 1 {
+		return nil
+	}
+	bit := uint64(1) << uint(subject)
+	low := bit - 1
+	out := &Model{
+		n:      m.n - 1,
+		risks:  make([]float64, 0, m.n-1),
+		resp:   m.resp,
+		eps:    m.eps,
+		pruned: m.pruned,
+		tests:  m.tests,
+	}
+	out.risks = append(out.risks, m.risks[:subject]...)
+	out.risks = append(out.risks, m.risks[subject+1:]...)
+	var acc prob.Accumulator
+	for i, s := range m.states {
+		if (s&bit != 0) != positive {
+			continue
+		}
+		// Splice the conditioned bit out; the map is monotone on the
+		// surviving states, so the output stays sorted by state mask.
+		out.states = append(out.states, (s&low)|((s&^low&^bit)>>1))
+		out.mass = append(out.mass, m.mass[i])
+		acc.Add(m.mass[i])
+	}
+	total := acc.Value()
+	if !(total > 0) {
+		return nil
+	}
+	inv := 1 / total
+	for i := range out.mass {
+		out.mass[i] *= inv
+	}
+	return out
+}
+
+// Restore rebuilds a model from a previously captured support — the
+// checkpointing hook for sparse-backed sessions. states must be strictly
+// ascending masks within the cohort; mass is renormalized on load, and the
+// cumulative pruned bound and test counter are taken from the checkpoint.
+func Restore(cfg Config, states []uint64, mass []float64, pruned float64, tests int) (*Model, error) {
+	n := len(cfg.Risks)
+	if n == 0 || n > MaxSubjects {
+		return nil, fmt.Errorf("sparse: cohort size %d invalid", n)
+	}
+	if cfg.Response == nil {
+		return nil, fmt.Errorf("sparse: nil response model")
+	}
+	if cfg.Eps < 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("sparse: eps %v outside [0,1)", cfg.Eps)
+	}
+	for i, p := range cfg.Risks {
+		if !(p > 0 && p < 1) {
+			return nil, fmt.Errorf("sparse: risk[%d] = %v outside (0,1)", i, p)
+		}
+	}
+	if len(states) == 0 || len(states) != len(mass) {
+		return nil, fmt.Errorf("sparse: support has %d states but %d masses", len(states), len(mass))
+	}
+	if !(pruned >= 0 && pruned <= 1) {
+		return nil, fmt.Errorf("sparse: pruned bound %v outside [0,1]", pruned)
+	}
+	if tests < 0 {
+		return nil, fmt.Errorf("sparse: negative test count %d", tests)
+	}
+	full := ^uint64(0)
+	if n < 64 {
+		full = uint64(1)<<uint(n) - 1
+	}
+	var acc prob.Accumulator
+	for i, s := range states {
+		if s&^full != 0 {
+			return nil, fmt.Errorf("sparse: state %#x outside cohort of %d", s, n)
+		}
+		if i > 0 && states[i-1] >= s {
+			return nil, fmt.Errorf("sparse: states not strictly ascending at %d", i)
+		}
+		w := mass[i]
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("sparse: invalid mass %v", w)
+		}
+		acc.Add(w)
+	}
+	total := acc.Value()
+	if !(total > 0) {
+		return nil, fmt.Errorf("sparse: restored support has zero mass")
+	}
+	m := &Model{
+		n:      n,
+		risks:  append([]float64(nil), cfg.Risks...),
+		resp:   cfg.Response,
+		states: append([]uint64(nil), states...),
+		mass:   append([]float64(nil), mass...),
+		eps:    cfg.Eps,
+		pruned: pruned,
+		tests:  tests,
+	}
+	inv := 1 / total
+	for i := range m.mass {
+		m.mass[i] *= inv
+	}
+	return m, nil
 }
 
 // ExpectedInfected returns E[|S|] over the retained support.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dilution"
 	"repro/internal/engine"
 	"repro/internal/halving"
+	"repro/internal/posterior"
 	"repro/internal/prob"
 	"repro/internal/rng"
 	"repro/internal/workload"
@@ -98,6 +99,10 @@ type StudyConfig struct {
 	// Strategy builds a (possibly stateful) selection strategy per
 	// replicate; nil selects Bayesian halving with MaxPool 32.
 	Strategy func(r *rng.Source) halving.Strategy
+	// Backend selects the posterior representation each replicate runs on
+	// (dense, sparse, or cluster with local executors). The zero value is
+	// the dense in-process backend, the historical behavior.
+	Backend posterior.Spec
 	// Lookahead, PosThreshold, NegThreshold, MaxStages mirror core.Config.
 	Lookahead    int
 	PosThreshold float64
@@ -185,6 +190,30 @@ func prepare(cfg StudyConfig) ([]*rng.Source, error) {
 	return rng.New(cfg.Seed).SplitN(cfg.Replicates), nil
 }
 
+// openSession builds one replicate's session on the study's backend.
+// The session owns the opened model and closes it when the campaign
+// completes or the caller abandons it.
+func openSession(cfg StudyConfig, lp *engine.Pool, risks []float64, strat halving.Strategy) (*core.Session, error) {
+	model, err := cfg.Backend.Open(lp, risks, cfg.Response)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSessionOn(model, core.Config{
+		Risks:        risks,
+		Response:     cfg.Response,
+		Strategy:     strat,
+		Lookahead:    cfg.Lookahead,
+		PosThreshold: cfg.PosThreshold,
+		NegThreshold: cfg.NegThreshold,
+		MaxStages:    cfg.MaxStages,
+	})
+	if err != nil {
+		model.Close() //lint:allow errcheck teardown on a constructor failure path; the construction error wins
+		return nil, err
+	}
+	return sess, nil
+}
+
 // runOne simulates one cohort end to end on a private single-worker engine.
 func runOne(cfg StudyConfig, r *rng.Source) (Replicate, error) {
 	risks := cfg.RiskGen(r)
@@ -196,18 +225,11 @@ func runOne(cfg StudyConfig, r *rng.Source) (Replicate, error) {
 	}
 	lp := engine.NewPool(1)
 	defer lp.Close()
-	sess, err := core.NewSession(lp, core.Config{
-		Risks:        risks,
-		Response:     cfg.Response,
-		Strategy:     strat,
-		Lookahead:    cfg.Lookahead,
-		PosThreshold: cfg.PosThreshold,
-		NegThreshold: cfg.NegThreshold,
-		MaxStages:    cfg.MaxStages,
-	})
+	sess, err := openSession(cfg, lp, risks, strat)
 	if err != nil {
 		return Replicate{}, err
 	}
+	defer sess.Close() //lint:allow errcheck abandoned-session teardown; Run's error wins
 	res, err := sess.Run(oracle.Test)
 	if err != nil {
 		return Replicate{}, err
@@ -326,20 +348,13 @@ func MeanEntropyTrace(cfg StudyConfig, stages int) ([]float64, error) {
 			strat = cfg.Strategy(r)
 		}
 		lp := engine.NewPool(1)
-		sess, err := core.NewSession(lp, core.Config{
-			Risks:        risks,
-			Response:     cfg.Response,
-			Strategy:     strat,
-			Lookahead:    cfg.Lookahead,
-			PosThreshold: cfg.PosThreshold,
-			NegThreshold: cfg.NegThreshold,
-			MaxStages:    cfg.MaxStages,
-		})
+		sess, err := openSession(cfg, lp, risks, strat)
 		if err != nil {
 			lp.Close()
 			return nil, err
 		}
 		res, err := sess.Run(oracle.Test)
+		sess.Close() //lint:allow errcheck abandoned-session teardown; Run's error wins
 		lp.Close()
 		if err != nil {
 			return nil, err

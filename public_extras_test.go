@@ -109,7 +109,10 @@ func TestSparseModelPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := sbgt.SelectPoolSparse(m, 16, false)
+	sel, err := sbgt.SelectPoolSparse(m, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sel.Pool == 0 || sel.Pool.Count() > 16 {
 		t.Fatalf("sparse selection %v", sel.Pool)
 	}

@@ -23,7 +23,21 @@ func NewSparseModel(cfg SparseConfig) (*SparseModel, error) {
 }
 
 // SelectPoolSparse runs one Bayesian halving selection on a truncated
-// posterior.
-func SelectPoolSparse(m *SparseModel, maxPool int, localSearch bool) Selection {
-	return halving.SelectOn(m, halving.Options{MaxPool: maxPool, LocalSearch: localSearch})
+// posterior. The error mirrors halving.SelectOn's contract; the sparse
+// backend itself never fails, so the error is always nil today.
+func SelectPoolSparse(m *SparseModel, maxPool int, localSearch bool) (Selection, error) {
+	return halving.SelectOn(sparseAdapter{m}, halving.Options{MaxPool: maxPool, LocalSearch: localSearch})
+}
+
+// sparseAdapter lifts the infallible sparse model onto the fallible
+// halving.Posterior surface.
+type sparseAdapter struct{ m *SparseModel }
+
+func (a sparseAdapter) N() int                       { return a.m.N() }
+func (a sparseAdapter) Marginals() ([]float64, error) { return a.m.Marginals(), nil }
+func (a sparseAdapter) NegMasses(cands []SubjectSet) ([]float64, error) {
+	return a.m.NegMasses(cands), nil
+}
+func (a sparseAdapter) PrefixNegMasses(order []int) ([]float64, error) {
+	return a.m.PrefixNegMasses(order), nil
 }
