@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dilution"
-	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/lattice"
 	"repro/internal/workload"
@@ -19,7 +18,7 @@ func runA1(c *ctx) error {
 	if c.quick {
 		n = 16
 	}
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	risks := workload.UniformRisks(n, 0.05)
 	pm := updatePool(n)
@@ -54,7 +53,7 @@ func runA1(c *ctx) error {
 // runA2 compares the fused update (multiply+sum one pass, scale pass) with
 // the unfused two-pass variant (multiply pass, then sum+scale).
 func runA2(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	tab := bench.NewTable("A2: kernel fusion in the posterior update",
 		"N", "two-pass", "fused", "speedup")
@@ -91,7 +90,7 @@ func runA3(c *ctx) error {
 	if c.quick {
 		n = 12
 	}
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	risks := workload.UniformRisks(n, 0.08)
 	m, err := lattice.New(pool, lattice.Config{Risks: risks, Response: benchResponse})

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dilution"
-	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/lattice"
 	"repro/internal/posterior"
@@ -38,7 +37,7 @@ func runF1(c *ctx) error {
 		"workers", "time", "speedup", "efficiency")
 	var base time.Duration
 	for _, w := range c.workerSweep() {
-		pool := engine.NewPool(w)
+		pool := c.newPool(w)
 		m, err := lattice.New(pool, lattice.Config{Risks: risks, Response: benchResponse})
 		if err != nil {
 			pool.Close()
@@ -76,7 +75,7 @@ func runF2(c *ctx) error {
 	for w <= c.workers {
 		n := basePerWorker + grow
 		risks := workload.UniformRisks(n, 0.05)
-		pool := engine.NewPool(w)
+		pool := c.newPool(w)
 		m, err := lattice.New(pool, lattice.Config{Risks: risks, Response: benchResponse})
 		if err != nil {
 			pool.Close()
@@ -106,7 +105,7 @@ func runF2(c *ctx) error {
 // runF3 is the operating-characteristics sweep: accuracy, savings, and
 // stage counts as prevalence rises, with and without dilution.
 func runF3(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	cohort, reps := 16, 48
 	if c.quick {
@@ -130,6 +129,7 @@ func runF3(c *ctx) error {
 				Backend:    c.backend,
 				Replicates: reps,
 				Seed:       c.seed,
+				Obs:        c.obs,
 				// Thresholds tighter than the lowest prevalence in the
 				// sweep: with the default 0.01 negative cutoff above a
 				// 0.005 prior, one weak negative would clear everyone.
@@ -163,6 +163,7 @@ func runF4(c *ctx) error {
 			Backend:    c.backend,
 			Replicates: reps,
 			Seed:       c.seed,
+			Obs:        c.obs,
 			MaxStages:  stages,
 		}
 	}
@@ -190,7 +191,7 @@ func runF4(c *ctx) error {
 // runF5 is the look-ahead trade-off: selecting k pools per stage cuts
 // sequential stages at a modest cost in total tests.
 func runF5(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	cohort, reps := 12, 24
 	if c.quick {
@@ -205,6 +206,7 @@ func runF5(c *ctx) error {
 			Lookahead:  depth,
 			Replicates: reps,
 			Seed:       c.seed,
+			Obs:        c.obs,
 		}
 		res, err := stats.Run(pool, cfg)
 		if err != nil {

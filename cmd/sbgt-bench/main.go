@@ -19,12 +19,21 @@
 //	-seed uint      root seed for every randomized experiment (default 1)
 //	-backend string posterior backend for the study experiments (F3, F4):
 //	                dense | sparse | cluster (default dense)
+//	-json string    write a machine-readable run report (experiments,
+//	                wall times, and the full metric snapshot — including
+//	                per-stage session timings) to this file; "-" = stdout
+//
+// Observability flags (shared across the sbgt commands):
+//
+//	-metrics-addr string  serve /metrics, /healthz, and pprof here
+//	-log-level string     debug | info | warn | error (default info)
+//	-trace-out string     write collected spans as NDJSON on exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"sort"
@@ -32,6 +41,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/posterior"
 )
 
@@ -50,6 +61,14 @@ type ctx struct {
 	seed    uint64
 	backend posterior.Spec // posterior backend for the study experiments
 	out     *os.File
+	obs     *obs.Registry // nil-safe shared registry for every experiment
+}
+
+// newPool creates an engine pool instrumented into the run's registry.
+func (c *ctx) newPool(workers int) *engine.Pool {
+	p := engine.NewPool(workers)
+	p.Instrument(c.obs)
+	return p
 }
 
 // emit prints a finished table (and optionally its CSV form).
@@ -87,8 +106,6 @@ func registry() []experiment {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sbgt-bench: ")
 	var (
 		expFlag = flag.String("exp", "all", `experiment ids, comma-separated, or "all"`)
 		quick   = flag.Bool("quick", false, "reduced problem sizes")
@@ -97,8 +114,17 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "root seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		backend = flag.String("backend", "dense", "posterior backend for the study experiments: dense | sparse | cluster")
+		jsonOut = flag.String("json", "", `write a JSON run report (wall times + metric snapshot) here; "-" = stdout`)
 	)
+	obsFlags := obs.RegisterFlags(nil)
 	flag.Parse()
+
+	rt, err := obsFlags.Start("sbgt-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbgt-bench:", err)
+		os.Exit(2)
+	}
+	defer rt.Close() //lint:allow errcheck best-effort teardown of the metrics server on exit
 
 	exps := registry()
 	if *list {
@@ -125,15 +151,15 @@ func main() {
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
-			log.Fatalf("unknown experiment(s): %s (use -list)", strings.Join(unknown, ", "))
+			rt.Fatal(fmt.Errorf("unknown experiment(s): %s (use -list)", strings.Join(unknown, ", ")))
 		}
 	}
 
 	kind, err := posterior.ParseKind(*backend)
 	if err != nil {
-		log.Fatal(err)
+		rt.Fatal(err)
 	}
-	c := &ctx{quick: *quick, csv: *csv, workers: *workers, seed: *seed, out: os.Stdout}
+	c := &ctx{quick: *quick, csv: *csv, workers: *workers, seed: *seed, out: os.Stdout, obs: rt.Reg}
 	// The study experiments replicate campaigns on single-worker models, so
 	// the cluster backend gets single-worker local executors to match.
 	c.backend = posterior.Spec{
@@ -142,20 +168,66 @@ func main() {
 		LocalExecutors: 2,
 		ExecWorkers:    1,
 		DialTimeout:    2 * time.Second,
+		Obs:            rt.Reg,
 	}
 	if c.workers <= 0 {
 		c.workers = runtime.GOMAXPROCS(0)
 	}
 	fmt.Printf("sbgt-bench: %d workers, quick=%v, seed=%d, backend=%s\n\n", c.workers, c.quick, c.seed, kind)
+	report := &runReport{Workers: c.workers, Quick: c.quick, Seed: c.seed, Backend: string(kind)}
 	for _, e := range exps {
 		if *expFlag != "all" && !want[e.id] {
 			continue
 		}
 		fmt.Printf("### %s: %s\n", e.id, e.title)
+		start := time.Now()
 		if err := e.run(c); err != nil {
-			log.Fatalf("%s: %v", e.id, err)
+			rt.Fatal(fmt.Errorf("%s: %v", e.id, err))
+		}
+		report.Experiments = append(report.Experiments, expReport{
+			ID: e.id, Title: e.title, Seconds: time.Since(start).Seconds(),
+		})
+	}
+	if *jsonOut != "" {
+		report.Metrics = rt.Reg.Snapshot()
+		if err := writeReport(*jsonOut, report); err != nil {
+			rt.Fatal(err)
 		}
 	}
+}
+
+// runReport is the -json run summary: what ran, how long each experiment
+// took, and the full metric snapshot (per-stage session timings land here
+// as the sbgt_session_stage_seconds{phase=...} histograms when the study
+// experiments are instrumented).
+type runReport struct {
+	Workers     int           `json:"workers"`
+	Quick       bool          `json:"quick"`
+	Seed        uint64        `json:"seed"`
+	Backend     string        `json:"backend"`
+	Experiments []expReport   `json:"experiments"`
+	Metrics     *obs.Snapshot `json:"metrics"`
+}
+
+// expReport records one experiment's identity and wall time.
+type expReport struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
+
+// writeReport marshals the report to path ("-" selects stdout).
+func writeReport(path string, r *runReport) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
 }
 
 // sizes returns the lattice-size sweep for the speedup tables.

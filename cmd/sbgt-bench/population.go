@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/program"
 	"repro/internal/rng"
 )
@@ -13,7 +12,7 @@ import (
 // runF7 shows population scale-out: cohort-sized sessions compose linearly,
 // so tests/subject stays flat while population grows.
 func runF7(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	sizes := []int{64, 128, 256, 512}
 	if c.quick {
@@ -57,7 +56,7 @@ func runF7(c *ctx) error {
 // contiguous assignment should land within noise of each other on cost —
 // the measured counterpoint to classical (non-adaptive) pooling folklore.
 func runA4(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	n, reps := 96, 6
 	if c.quick {

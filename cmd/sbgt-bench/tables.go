@@ -7,7 +7,6 @@ import (
 	"repro/internal/bench"
 	"repro/internal/bitvec"
 	"repro/internal/dilution"
-	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/lattice"
 	"repro/internal/rng"
@@ -33,7 +32,7 @@ func updatePool(n int) bitvec.Mask {
 // renormalization plus full marginals — on the engine vs the serial
 // baseline. This is the paper's "manipulating lattice models" table.
 func runT1(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	tab := bench.NewTable("T1: lattice ops (update + marginals), SBGT vs baseline",
 		"N", "states", "baseline", "sbgt", "speedup")
@@ -73,7 +72,7 @@ func runT1(c *ctx) error {
 // runT2 measures one full halving selection — candidate generation plus
 // the clean-mass scan — engine vs baseline ("performing test selections").
 func runT2(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	tab := bench.NewTable("T2: halving test selection, SBGT vs baseline",
 		"N", "states", "baseline", "sbgt", "speedup")
@@ -111,7 +110,7 @@ func runT2(c *ctx) error {
 // out across workers vs strictly serial ("conducting statistical
 // analyses").
 func runT3(c *ctx) error {
-	pool := engine.NewPool(c.workers)
+	pool := c.newPool(c.workers)
 	defer pool.Close()
 	reps := 64
 	cohort := 12
@@ -123,6 +122,7 @@ func runT3(c *ctx) error {
 		Response:   benchResponse,
 		Replicates: reps,
 		Seed:       c.seed,
+		Obs:        c.obs,
 	}
 	tab := bench.NewTable("T3: Monte-Carlo study throughput, parallel vs serial",
 		"replicates", "cohort", "serial", "parallel", "speedup", "accuracy")

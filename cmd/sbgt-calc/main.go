@@ -19,22 +19,21 @@
 //	-lookahead int pools per stage for the halving programme (default 1)
 //	-seed uint     Monte-Carlo seed (default 1)
 //	-sweep         print a prevalence sweep instead of one row
+//	-log-level     debug | info | warn | error (default info)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"text/tabwriter"
 
 	"repro/internal/calculator"
 	"repro/internal/dilution"
+	"repro/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sbgt-calc: ")
 	var (
 		prev      = flag.Float64("prev", 0.02, "population prevalence")
 		assay     = flag.String("assay", "binary", "ideal | binary | hyperbolic | logistic | ct")
@@ -44,12 +43,23 @@ func main() {
 		lookahead = flag.Int("lookahead", 1, "pools per stage")
 		seed      = flag.Uint64("seed", 1, "Monte-Carlo seed")
 		sweep     = flag.Bool("sweep", false, "print a prevalence sweep")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	)
 	flag.Parse()
 
+	logg, err := obs.CLILogger(os.Stderr, "sbgt-calc", *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbgt-calc:", err)
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
+
 	resp, err := makeResponse(*assay)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	hp := calculator.HalvingParams{
 		Cohort:     *cohort,
@@ -68,7 +78,7 @@ func main() {
 	for _, p := range prevs {
 		designs, err := calculator.Compare(p, resp, hp)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, d := range designs {
 			basis := "monte-carlo"
@@ -80,13 +90,13 @@ func main() {
 		}
 	}
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	if !*sweep {
 		designs, err := calculator.Compare(*prev, resp, hp)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		best := calculator.Recommend(designs)
 		fmt.Printf("\nrecommendation at prevalence %.3f with %s assay: %s\n", *prev, resp.Name(), best.Name)

@@ -9,24 +9,37 @@
 // Start one process per node (or per NUMA domain), then hand the list of
 // addresses to the driver. The executor is stateless between drivers: a
 // new driver connection rebuilds the shard with BuildPrior.
+//
+// With -metrics-addr the executor also serves its own /metrics (request
+// counts per op, shard size, worker-pool series), /healthz, and pprof —
+// the per-node introspection surface of a real deployment.
 package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"os"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sbgt-exec: ")
 	var (
 		listen  = flag.String("listen", "127.0.0.1:7070", "address to serve on")
 		workers = flag.Int("workers", 0, "local workers (0 = GOMAXPROCS)")
 	)
+	obsFlags := obs.RegisterFlags(nil)
 	flag.Parse()
-	if err := sbgt.ServeExecutor(*listen, *workers); err != nil {
-		log.Fatal(err)
+
+	rt, err := obsFlags.Start("sbgt-exec")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbgt-exec:", err)
+		os.Exit(2)
+	}
+	defer rt.Close() //lint:allow errcheck best-effort teardown of the metrics server on exit
+
+	if err := sbgt.ServeExecutorObs(*listen, *workers, rt.Reg, rt.Log); err != nil {
+		rt.Fatal(err)
 	}
 }

@@ -13,6 +13,7 @@
 //
 //	-list        print the analyzers and their invariants, then exit
 //	-run a,b     run only the named analyzers
+//	-log-level   debug | info | warn | error (default info)
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 // Intentional exceptions are annotated in source as
@@ -27,12 +28,20 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	flag.Parse()
+
+	logg, err := obs.CLILogger(os.Stderr, "sbgt-lint", *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbgt-lint:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
@@ -46,26 +55,26 @@ func main() {
 		var unknown string
 		analyzers, unknown = analysis.ByName(strings.Split(*runNames, ","))
 		if unknown != "" {
-			fmt.Fprintf(os.Stderr, "sbgt-lint: unknown analyzer %q (use -list)\n", unknown)
+			logg.Error("unknown analyzer (use -list)", "name", unknown)
 			os.Exit(2)
 		}
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sbgt-lint: %v\n", err)
+		logg.Error(err.Error())
 		os.Exit(2)
 	}
 	for _, arg := range flag.Args() {
 		if err := checkPattern(root, arg); err != nil {
-			fmt.Fprintf(os.Stderr, "sbgt-lint: %v\n", err)
+			logg.Error(err.Error())
 			os.Exit(2)
 		}
 	}
 
 	pkgs, err := analysis.LoadModule(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sbgt-lint: %v\n", err)
+		logg.Error(err.Error())
 		os.Exit(2)
 	}
 
@@ -77,7 +86,7 @@ func main() {
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "sbgt-lint: %d diagnostic(s)\n", len(diags))
+		logg.Error("diagnostics reported", "count", len(diags))
 		os.Exit(1)
 	}
 }

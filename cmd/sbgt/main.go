@@ -20,21 +20,25 @@
 //	-seed uint      RNG seed (default 1)
 //	-workers int    engine workers (default GOMAXPROCS)
 //	-quiet          only print the final summary
+//
+// Observability flags (shared across the sbgt commands):
+//
+//	-metrics-addr string  serve /metrics, /healthz, and pprof here
+//	-log-level string     debug | info | warn | error (default info)
+//	-trace-out string     write per-stage spans as NDJSON on exit
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"time"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sbgt: ")
-
 	var (
 		n         = flag.Int("n", 16, "cohort size (1..30)")
 		prev      = flag.Float64("prev", 0.05, "prior infection risk per subject")
@@ -51,16 +55,24 @@ func main() {
 		eps       = flag.Float64("eps", 1e-9, "sparse backend: relative truncation threshold")
 		execs     = flag.Int("execs", 2, "cluster backend: local executors to start")
 	)
+	obsFlags := obs.RegisterFlags(nil)
 	flag.Parse()
+
+	rt, err := obsFlags.Start("sbgt")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbgt:", err)
+		os.Exit(2)
+	}
+	defer rt.Close() //lint:allow errcheck best-effort teardown of the metrics server on exit
 
 	r := sbgt.NewRand(*seed)
 	risks, err := makeRisks(*profile, *n, *prev, r)
 	if err != nil {
-		log.Fatal(err)
+		rt.Fatal(err)
 	}
 	resp, err := makeResponse(*assay)
 	if err != nil {
-		log.Fatal(err)
+		rt.Fatal(err)
 	}
 
 	popu := sbgt.DrawPopulation(risks, r)
@@ -68,6 +80,7 @@ func main() {
 
 	eng := sbgt.NewEngine(*workers)
 	defer eng.Close()
+	eng.Instrument(rt.Reg)
 	var sess *sbgt.Session
 	if *resume != "" {
 		// Resuming re-simulates the same truth/oracle stream from -seed,
@@ -75,39 +88,42 @@ func main() {
 		// oracle is the lab and this caveat disappears.
 		f, err := os.Open(*resume)
 		if err != nil {
-			log.Fatal(err)
+			rt.Fatal(err)
 		}
 		sess, err = eng.LoadSession(f, sbgt.HalvingStrategy(*maxPool, false))
 		if cerr := f.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 		if err != nil {
-			log.Fatal(err)
+			rt.Fatal(err)
 		}
 		fmt.Printf("resumed from %s: stage %d, %d tests, %d subjects remaining\n",
 			*resume, sess.Stage(), sess.Tests(), sess.Remaining())
 	} else {
 		kind, err := sbgt.ParseBackend(*backend)
 		if err != nil {
-			log.Fatal(err)
+			rt.Fatal(err)
 		}
 		model, err := eng.OpenBackend(sbgt.Backend{
 			Kind:           kind,
 			Eps:            *eps,
 			LocalExecutors: *execs,
+			Obs:            rt.Reg,
 		}, risks, resp)
 		if err != nil {
-			log.Fatal(err)
+			rt.Fatal(err)
 		}
 		sess, err = eng.NewSessionOn(model, sbgt.Config{
 			Risks:     risks,
 			Response:  resp,
 			Strategy:  sbgt.HalvingStrategy(*maxPool, false),
 			Lookahead: *lookahead,
+			Obs:       rt.Reg,
+			Tracer:    rt.Tracer,
 		})
 		if err != nil {
 			model.Close() //lint:allow errcheck teardown on a constructor failure path; the construction error wins
-			log.Fatal(err)
+			rt.Fatal(err)
 		}
 	}
 
@@ -127,16 +143,16 @@ func main() {
 		// crash never leaves a torn checkpoint.
 		for !sess.Done() && sess.Stage() < 64 {
 			if err := sess.Step(test); err != nil {
-				log.Fatal(err)
+				rt.Fatal(err)
 			}
 			if err := checkpoint(sess, *saveTo); err != nil {
-				log.Fatal(err)
+				rt.Fatal(err)
 			}
 		}
 	}
 	res, err := sess.Run(test)
 	if err != nil {
-		log.Fatal(err)
+		rt.Fatal(err)
 	}
 
 	if !*quiet {
@@ -154,9 +170,19 @@ func main() {
 	fmt.Printf("summary: tests=%d (%.2f/subject) stages=%d converged=%v accuracy=%.4f sens=%.4f spec=%.4f\n",
 		res.Tests, res.TestsPerSubject(), res.Stages, res.Converged,
 		conf.Accuracy(), conf.Sensitivity(), conf.Specificity())
-	if conf.Accuracy() < 1 {
-		os.Exit(0) // misclassification under a noisy assay is not an error
+	if !*quiet && len(res.StageTimings) > 0 {
+		var sel, tst, upd, cls time.Duration
+		for _, st := range res.StageTimings {
+			sel += st.Select
+			tst += st.Test
+			upd += st.Update
+			cls += st.Classify
+		}
+		fmt.Printf("timing: select=%v test=%v update=%v classify=%v over %d stage(s)\n",
+			sel.Round(time.Microsecond), tst.Round(time.Microsecond),
+			upd.Round(time.Microsecond), cls.Round(time.Microsecond), len(res.StageTimings))
 	}
+	// Misclassification under a noisy assay is not an error; exit 0 either way.
 }
 
 func makeRisks(profile string, n int, prev float64, r *sbgt.Rand) ([]float64, error) {

@@ -9,21 +9,28 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"os"
 	"time"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 func main() {
+	logg := obs.NewLogger(os.Stderr, slog.LevelInfo, "example-cluster")
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
 	// Start three executors on ephemeral loopback ports. Each one owns a
 	// shard of the 2^N posterior and serves kernel RPCs.
 	var addrs []string
 	for i := 0; i < 3; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		addrs = append(addrs, l.Addr().String())
 		//lint:allow concurrency the demo runs executors in-process; deployments use cmd/sbgt-exec
@@ -32,7 +39,7 @@ func main() {
 			// "use of closed network connection" error on process exit is
 			// expected; the executors outlive the driver here.)
 			if err := sbgt.ServeExecutorOn(l, 0); err != nil {
-				log.Printf("executor: %v", err)
+				logg.Warn("executor stopped", "err", err)
 			}
 		}(l)
 	}
@@ -44,7 +51,7 @@ func main() {
 	assay := sbgt.BinaryTest(0.95, 0.99)
 	model, err := sbgt.DialCluster(addrs, risks, assay, 3*time.Second)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer model.Close()
 	fmt.Printf("lattice of %d subjects sharded over %d executors\n", model.N(), model.Executors())
@@ -61,18 +68,18 @@ func main() {
 	}
 	for _, st := range steps {
 		if err := model.Update(st.pool, st.y); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		ent, err := model.Entropy()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  observed %v on %v -> posterior entropy %.3f bits\n", st.y, st.pool, ent)
 	}
 
 	marg, err := model.Marginals()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("posterior infection probabilities:")
 	for i, g := range marg {

@@ -11,11 +11,12 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 const (
@@ -25,6 +26,11 @@ const (
 )
 
 func main() {
+	logg := obs.NewLogger(os.Stderr, slog.LevelInfo, "example-dilution")
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
 	eng := sbgt.NewEngine(0)
 	defer eng.Close()
 
@@ -35,7 +41,7 @@ func main() {
 	// the campaign costs below explode and why capping pool size helps.
 	m, err := eng.NewModel(sbgt.UniformRisks(cohort, prevalence), sbgt.IdealTest())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sel := sbgt.SelectPool(m, 0, false)
 	k := sel.Pool.Count()
@@ -57,7 +63,7 @@ func main() {
 			Seed:       11,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		s := study.Summarize()
 		fmt.Fprintf(w, "%s\t%.3f\t%.1f\t%.4f\n", name, s.TestsPerSubject, s.MeanStages, s.Accuracy)
@@ -67,7 +73,7 @@ func main() {
 	run("strong dilution (d=0.8)", sbgt.HyperbolicDilutionTest(0.98, 0.995, 0.8))
 	run("continuous Ct readout", sbgt.CtTest())
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	fmt.Println("\nthe Ct row shows the value of modeling the full response distribution:")

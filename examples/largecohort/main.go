@@ -11,9 +11,11 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 const (
@@ -24,6 +26,11 @@ const (
 )
 
 func main() {
+	logg := obs.NewLogger(os.Stderr, slog.LevelInfo, "example-largecohort")
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
 	risks := sbgt.UniformRisks(cohort, prevalence)
 	assay := sbgt.BinaryTest(0.97, 0.995)
 	r := sbgt.NewRand(2027)
@@ -38,7 +45,7 @@ func main() {
 		Eps:      1e-9,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("truncated prior support: %d states (vs 2^48 ≈ 2.8e14 dense), bound %.2g\n",
 		model.Support(), model.Pruned())
@@ -69,11 +76,11 @@ func main() {
 		}
 		sel, err := sbgt.SelectPoolSparse(model, 16, false)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		y := oracle.Test(sel.Pool)
 		if err := model.Update(sel.Pool, y); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if stage < 6 || stage%10 == 0 {
 			fmt.Printf("  stage %3d: pool %-30v -> %-8v  support %6d  entropy %6.2f bits\n",

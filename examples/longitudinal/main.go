@@ -14,9 +14,11 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 const (
@@ -30,6 +32,11 @@ const (
 )
 
 func main() {
+	logg := obs.NewLogger(os.Stderr, slog.LevelInfo, "example-longitudinal")
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
 	eng := sbgt.NewEngine(0)
 	defer eng.Close()
 	assay := sbgt.BinaryTest(0.95, 0.99)
@@ -61,11 +68,11 @@ func main() {
 				MaxStages:    12,
 			})
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			res, err := sess.Run(oracle.Test)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			weekCorrect := 0
 			marginals := make([]float64, cohort)

@@ -11,12 +11,19 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 func main() {
+	logg := obs.NewLogger(os.Stderr, slog.LevelInfo, "example-population")
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
 	eng := sbgt.NewEngine(0)
 	defer eng.Close()
 
@@ -47,7 +54,7 @@ func main() {
 		MaxPool:    12,
 	}, oracle.Test)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	correct := 0

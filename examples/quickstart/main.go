@@ -9,12 +9,19 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 func main() {
+	logg := obs.NewLogger(os.Stderr, slog.LevelInfo, "example-quickstart")
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
 	// One engine per process; it owns the worker pool the Bayesian
 	// lattice kernels run on.
 	eng := sbgt.NewEngine(0) // 0 = one worker per CPU
@@ -42,7 +49,7 @@ func main() {
 		Strategy: sbgt.HalvingStrategy(6, false),
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	result, err := sess.Run(func(pool sbgt.SubjectSet) sbgt.Outcome {
 		y := oracle.Test(pool)
@@ -50,7 +57,7 @@ func main() {
 		return y
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	fmt.Printf("classified positives: %v\n", result.Positives())

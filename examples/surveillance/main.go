@@ -9,11 +9,12 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 
 	sbgt "repro"
+	"repro/internal/obs"
 )
 
 const (
@@ -23,6 +24,11 @@ const (
 )
 
 func main() {
+	logg := obs.NewLogger(os.Stderr, slog.LevelInfo, "example-surveillance")
+	fatal := func(err error) {
+		logg.Error(err.Error())
+		os.Exit(1)
+	}
 	eng := sbgt.NewEngine(0)
 	defer eng.Close()
 
@@ -54,14 +60,14 @@ func main() {
 			Seed:       seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		s := study.Summarize()
 		fmt.Fprintf(w, "%s\t%.3f\t%.1f\t%.4f\t%.4f\t%.4f\n",
 			p.name, s.TestsPerSubject, s.MeanStages, s.Accuracy, s.Sensitivity, s.Specificity)
 	}
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\n%d replicates of %d subjects each; household-clustered risk; diluting assay\n",
 		replicates, cohort)

@@ -13,12 +13,13 @@ import (
 func approvedConcurrencyPackage(path string) bool {
 	return pathHasSuffix(path, "internal/engine") ||
 		pathHasSuffix(path, "internal/cluster") ||
+		pathHasSuffix(path, "internal/obs") ||
 		pathHasSegment(path, "cmd")
 }
 
 // Concurrency enforces the parallelism discipline:
 //
-//   - `go` statements are flagged outside internal/engine, internal/cluster,
+//   - `go` statements are flagged outside internal/engine, internal/cluster, internal/obs,
 //     and cmd/* — ad-hoc goroutines bypass the pool's deterministic
 //     partition-ordered reductions and its panic containment;
 //   - copying a value whose type (transitively) contains sync.Mutex,
@@ -41,7 +42,7 @@ func runConcurrency(pass *Pass) {
 		case *ast.GoStmt:
 			if !approved {
 				pass.Reportf(n.Pos(),
-					"goroutine outside the approved concurrency substrate (internal/engine, internal/cluster, cmd/*); route parallelism through engine.Pool")
+					"goroutine outside the approved concurrency substrate (internal/engine, internal/cluster, internal/obs, cmd/*); route parallelism through engine.Pool")
 			}
 		case *ast.FuncDecl:
 			if n.Recv != nil && len(n.Recv.List) == 1 {

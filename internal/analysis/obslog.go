@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obslogBannedLog is the package-log call surface that writes through the
+// process-global logger.
+var obslogBannedLog = map[string]bool{
+	"log.Print": true, "log.Printf": true, "log.Println": true,
+	"log.Fatal": true, "log.Fatalf": true, "log.Fatalln": true,
+	"log.Panic": true, "log.Panicf": true, "log.Panicln": true,
+}
+
+// Obslog enforces the logging discipline inside internal/ packages:
+// library code must not write ad-hoc diagnostics to the process streams.
+//
+//   - package log calls (Print*/Fatal*/Panic*) go through the unleveled
+//     process-global logger, invisible to -log-level and untagged by
+//     component — take a *slog.Logger (internal/obs builds them) instead;
+//   - fmt.Print/Printf/Println write to stdout a library does not own;
+//   - fmt.Fprint* aimed at the os.Stderr or os.Stdout literals is the
+//     same problem with extra steps.
+//
+// Command mains (cmd/*) and examples own their streams and are exempt,
+// as is internal/obs itself — it is the substrate the rule points to.
+// Intentional exceptions are waived with "//lint:allow obslog <reason>".
+var Obslog = &Analyzer{
+	Name: "obslog",
+	Doc: "flag ad-hoc logging in internal packages (package log, fmt printing " +
+		"to the process streams); route diagnostics through internal/obs loggers",
+	Run: runObslog,
+}
+
+func runObslog(pass *Pass) {
+	if !pathHasSegment(pass.PkgPath, "internal") {
+		return
+	}
+	if pathHasSuffix(pass.PkgPath, "internal/obs") {
+		return // the logging substrate itself
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := pass.CalleeName(call)
+		switch {
+		case obslogBannedLog[name]:
+			pass.Reportf(call.Pos(),
+				"%s writes through the process-global logger; take a *slog.Logger (internal/obs) so output honors -log-level", name)
+		case name == "fmt.Print" || name == "fmt.Printf" || name == "fmt.Println":
+			pass.Reportf(call.Pos(),
+				"%s prints to stdout from library code; write to a caller-supplied io.Writer or an obs logger", name)
+		case name == "fmt.Fprint" || name == "fmt.Fprintf" || name == "fmt.Fprintln":
+			if stream := processStreamArg(pass, call); stream != "" {
+				pass.Reportf(call.Pos(),
+					"%s to %s bypasses the obs logger; take an io.Writer or a *slog.Logger (internal/obs)", name, stream)
+			}
+		}
+		return true
+	})
+}
+
+// processStreamArg returns "os.Stderr" or "os.Stdout" when the call's
+// first argument is that literal selector, else "".
+func processStreamArg(pass *Pass, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stderr" && sel.Sel.Name != "Stdout") {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
+		return "os." + sel.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+func TestObslogGolden(t *testing.T) {
+	runGolden(t, "obslog", "repro/internal/obslog", "obslog", []*Analyzer{Obslog})
+}
+
+// TestObslogScope pins the scoping rules: the same fixture is silent when
+// loaded outside an internal/ path, and when loaded as internal/obs itself.
+func TestObslogScope(t *testing.T) {
+	for _, path := range []string{"repro/cmd/obslog", "repro/internal/obs"} {
+		diags := loadAndRun(t, "obslog", path, []*Analyzer{Obslog})
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic under %s: %s", path, d)
+		}
+	}
+}

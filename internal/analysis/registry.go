@@ -2,7 +2,7 @@ package analysis
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Concurrency, Floats, Errcheck}
+	return []*Analyzer{Determinism, Concurrency, Floats, Errcheck, Obslog}
 }
 
 // ByName returns the named analyzers, or nil plus the first unknown name.

@@ -1,0 +1,44 @@
+// Package obslog is a fixture for the obslog analyzer.
+package obslog
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// logging goes through the process-global logger: flagged.
+func logging() {
+	log.Printf("x=%d", 1)
+	log.Println("boom")
+	log.Fatal("die")
+}
+
+// printing writes to the process streams: flagged.
+func printing(n int) {
+	fmt.Println("hello")
+	fmt.Printf("n=%d\n", n)
+	fmt.Fprintf(os.Stderr, "warn: %d\n", n)
+	fmt.Fprintln(os.Stdout, "out")
+}
+
+// toWriter targets a caller-supplied writer: fine.
+func toWriter(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "ok")
+	return err
+}
+
+// toFile targets a file the caller opened: fine (not a process stream).
+func toFile(f *os.File) error {
+	_, err := fmt.Fprintln(f, "ok")
+	return err
+}
+
+// waived spells out the one sanctioned escape hatch.
+func waived() {
+	//lint:allow obslog usage banner printed before any logger exists
+	fmt.Fprintln(os.Stderr, "usage: obslog [flags]")
+}
+
+var _ = []any{logging, printing, toWriter, toFile, waived}

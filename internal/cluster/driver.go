@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/dilution"
+	"repro/internal/obs"
 	"repro/internal/prob"
 )
 
@@ -21,10 +22,15 @@ type conn struct {
 	enc    *gob.Encoder
 	dec    *gob.Decoder
 	lo, hi uint64
+	met    *clusterMetrics // nil when the model is uninstrumented
 }
 
 // call sends one request and waits for its response.
 func (c *conn) call(req Request) (Response, error) {
+	if c.met != nil {
+		stop := c.met.rpc[req.Op].Time()
+		defer stop()
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("cluster: send %s to %s: %w", req.Op, c.addr, err)
 	}
@@ -55,6 +61,22 @@ type Model struct {
 	risks []float64
 	resp  dilution.Response
 	tests int
+	met   *clusterMetrics // nil when uninstrumented; shared by the conns
+}
+
+// DialOptions tunes DialWith beyond the required executor set.
+type DialOptions struct {
+	// Timeout bounds each connection attempt — the TCP dial plus that
+	// executor's prior-materialization round. <= 0 means no deadline.
+	Timeout time.Duration
+	// Attempts is how many times each executor is dialed before its
+	// failure aborts the fan-out (<= 0 selects 1). Retries are counted in
+	// sbgt_cluster_dial_retries_total when a registry is attached.
+	Attempts int
+	// Obs, when non-nil, receives driver-side metrics: per-op RPC latency
+	// histograms, bytes sent/received, dial retries, and per-executor
+	// shard-size gauges.
+	Obs *obs.Registry
 }
 
 // Dial connects to the executors, shards the lattice across them
@@ -66,6 +88,48 @@ type Model struct {
 // prior-materialization round — so N executors cost one timeout
 // worst-case, not N of them. timeout <= 0 means no deadline.
 func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.Duration) (*Model, error) {
+	return DialWith(addrs, risks, resp, DialOptions{Timeout: timeout})
+}
+
+// dialOne runs one connection attempt: TCP dial, deadline, prior build.
+// Errors are unadorned — DialWith wraps them with the executor address
+// and attempt number.
+func dialOne(addr string, lo, hi uint64, risks []float64, timeout time.Duration, met *clusterMetrics) (*conn, float64, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	if met != nil {
+		nc = &countingConn{Conn: nc, sent: met.bytesSent, recv: met.bytesRecv}
+	}
+	if timeout > 0 {
+		// The same per-connection deadline also bounds the prior build: a
+		// hung executor fails this dial, not the whole fan-out serially.
+		if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
+			nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
+			return nil, 0, fmt.Errorf("set deadline: %w", err)
+		}
+	}
+	c := &conn{addr: addr, nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), lo: lo, hi: hi, met: met}
+	resp, err := c.call(Request{Op: OpBuildPrior, Risks: risks, Lo: lo, Hi: hi})
+	if err != nil {
+		nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
+		return nil, 0, err
+	}
+	if timeout > 0 {
+		if err := nc.SetDeadline(time.Time{}); err != nil {
+			nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
+			return nil, 0, fmt.Errorf("clear deadline: %w", err)
+		}
+	}
+	return c, resp.Sum, nil
+}
+
+// DialWith is Dial with retries and observability. Every connection
+// failure — including a per-connection deadline firing mid prior build —
+// is wrapped with the executor address and the attempt number, so a
+// failed fan-out names the executor that sank it.
+func DialWith(addrs []string, risks []float64, resp dilution.Response, opts DialOptions) (*Model, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no executors")
 	}
@@ -85,6 +149,11 @@ func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.
 	if uint64(len(addrs)) > total {
 		return nil, fmt.Errorf("cluster: more executors (%d) than states (%d)", len(addrs), total)
 	}
+	attempts := opts.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	met := newClusterMetrics(opts.Obs)
 	per := total / uint64(len(addrs))
 	rem := total % uint64(len(addrs))
 	conns := make([]*conn, len(addrs))
@@ -102,41 +171,22 @@ func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.
 		wg.Add(1)
 		go func(i int, addr string, lo, hi uint64) {
 			defer wg.Done()
-			nc, err := net.DialTimeout("tcp", addr, timeout)
-			if err != nil {
-				errs[i] = fmt.Errorf("cluster: dial %s: %w", addr, err)
-				return
-			}
-			if timeout > 0 {
-				// The same per-connection deadline also bounds the prior
-				// build: a hung executor fails this dial, not the whole
-				// fan-out serially.
-				if err := nc.SetDeadline(time.Now().Add(timeout)); err != nil {
-					nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
-					errs[i] = fmt.Errorf("cluster: deadline %s: %w", addr, err)
+			for attempt := 1; attempt <= attempts; attempt++ {
+				c, sum, err := dialOne(addr, lo, hi, risks, opts.Timeout, met)
+				if err == nil {
+					conns[i] = c
+					sums[i] = sum
 					return
 				}
-			}
-			c := &conn{addr: addr, nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), lo: lo, hi: hi}
-			resp, err := c.call(Request{Op: OpBuildPrior, Risks: risks, Lo: lo, Hi: hi})
-			if err != nil {
-				nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
-				errs[i] = err
-				return
-			}
-			if timeout > 0 {
-				if err := nc.SetDeadline(time.Time{}); err != nil {
-					nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
-					errs[i] = fmt.Errorf("cluster: clear deadline %s: %w", addr, err)
-					return
+				errs[i] = fmt.Errorf("cluster: executor %s attempt %d/%d: %w", addr, attempt, attempts, err)
+				if attempt < attempts && met != nil {
+					met.dialRetries.Inc()
 				}
 			}
-			conns[i] = c
-			sums[i] = resp.Sum
 		}(i, addr, lo, hi)
 	}
 	wg.Wait()
-	m := &Model{conns: make([]*conn, 0, len(addrs)), n: n, risks: append([]float64(nil), risks...), resp: resp}
+	m := &Model{conns: make([]*conn, 0, len(addrs)), n: n, risks: append([]float64(nil), risks...), resp: resp, met: met}
 	var firstErr error
 	for i, c := range conns {
 		if c != nil {
@@ -149,6 +199,7 @@ func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.
 		m.Close()
 		return nil, firstErr
 	}
+	met.noteShards(m.conns)
 	// Merge the prior partials in rank order and normalize remotely.
 	var acc prob.Accumulator
 	for _, s := range sums {

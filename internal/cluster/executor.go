@@ -5,12 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"math/bits"
 	"net"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/prob"
 )
 
@@ -19,6 +20,8 @@ import (
 // over it with a local engine pool.
 type Executor struct {
 	pool *engine.Pool
+	log  *slog.Logger
+	met  *executorMetrics // nil when uninstrumented
 
 	// Shard state, valid after OpBuildPrior.
 	n    int
@@ -27,10 +30,15 @@ type Executor struct {
 }
 
 // NewExecutor returns an executor whose kernels run on workers local
-// goroutines (<= 0 selects GOMAXPROCS).
+// goroutines (<= 0 selects GOMAXPROCS). Transport hiccups log through
+// slog.Default; redirect with SetLogger.
 func NewExecutor(workers int) *Executor {
-	return &Executor{pool: engine.NewPool(workers)}
+	return &Executor{pool: engine.NewPool(workers), log: slog.Default()}
 }
+
+// SetLogger redirects the executor's transport logging. A nil logger
+// silences it.
+func (e *Executor) SetLogger(l *slog.Logger) { e.log = obs.OrNop(l) }
 
 // Close releases the local worker pool.
 func (e *Executor) Close() { e.pool.Close() }
@@ -48,7 +56,7 @@ func (e *Executor) Serve(l net.Listener) error {
 		}
 		shutdown := e.handle(conn)
 		if err := conn.Close(); err != nil {
-			log.Printf("cluster executor: close conn: %v", err)
+			e.log.Warn("cluster executor: close conn", "err", err)
 		}
 		if shutdown {
 			return nil
@@ -65,7 +73,7 @@ func (e *Executor) handle(conn net.Conn) bool {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
-				log.Printf("cluster executor: decode: %v", err)
+				e.log.Warn("cluster executor: decode", "err", err)
 			}
 			return false
 		}
@@ -76,7 +84,7 @@ func (e *Executor) handle(conn net.Conn) bool {
 		}
 		resp := e.dispatch(req)
 		if err := enc.Encode(resp); err != nil {
-			log.Printf("cluster executor: encode: %v", err)
+			e.log.Warn("cluster executor: encode", "err", err)
 			return false
 		}
 	}
@@ -84,6 +92,11 @@ func (e *Executor) handle(conn net.Conn) bool {
 
 // dispatch evaluates one request against the shard.
 func (e *Executor) dispatch(req Request) Response {
+	if e.met != nil {
+		if c, ok := e.met.requests[req.Op]; ok {
+			c.Inc()
+		}
+	}
 	switch req.Op {
 	case OpPing:
 		return Response{Op: OpPing}
@@ -177,6 +190,7 @@ func (e *Executor) buildPrior(req Request) Response {
 	e.n = n
 	e.lo = req.Lo
 	e.data = make([]float64, req.Hi-req.Lo)
+	e.noteShard()
 	e.forRange(func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			s := e.lo + uint64(j)
@@ -223,6 +237,7 @@ func (e *Executor) loadShard(req Request) Response {
 	// built" to dispatch, and an empty shard is a built shard.
 	e.data = make([]float64, req.Hi-req.Lo)
 	copy(e.data, req.Data)
+	e.noteShard()
 	return Response{Op: req.Op}
 }
 
@@ -384,6 +399,13 @@ func (e *Executor) mass(req Request) Response {
 // ListenAndServe runs an executor on addr until shutdown. It is the body
 // of cmd/sbgt-exec.
 func ListenAndServe(addr string, workers int) error {
+	return ListenAndServeObs(addr, workers, nil, nil)
+}
+
+// ListenAndServeObs is ListenAndServe with the executor instrumented into
+// reg (nil disables metrics) and logging through log (nil selects
+// slog.Default).
+func ListenAndServeObs(addr string, workers int, reg *obs.Registry, log *slog.Logger) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: listen %s: %w", addr, err)
@@ -391,6 +413,10 @@ func ListenAndServe(addr string, workers int) error {
 	defer l.Close()
 	e := NewExecutor(workers)
 	defer e.Close()
-	log.Printf("cluster executor: serving on %s", l.Addr())
+	if log != nil {
+		e.SetLogger(log)
+	}
+	e.Instrument(reg, "")
+	e.log.Info("cluster executor: serving", "addr", l.Addr().String())
 	return e.Serve(l)
 }

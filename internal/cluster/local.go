@@ -3,8 +3,11 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
 // StartLocal launches k in-process executors on ephemeral loopback ports
@@ -18,6 +21,14 @@ import (
 // (<= 0 means GOMAXPROCS). stop is safe to call more than once and
 // after the executors have already failed.
 func StartLocal(k, workers int) (addrs []string, stop func(), err error) {
+	return StartLocalObs(k, workers, nil)
+}
+
+// StartLocalObs is StartLocal with every executor instrumented into reg
+// (nil disables metrics): executor pools report into the shared
+// sbgt_engine_pool_* series, and per-executor request counts and shard
+// sizes carry an executor="<rank>" label.
+func StartLocalObs(k, workers int, reg *obs.Registry) (addrs []string, stop func(), err error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("cluster: executor count %d outside [1,∞)", k)
 	}
@@ -38,13 +49,14 @@ func StartLocal(k, workers int) (addrs []string, stop func(), err error) {
 			return nil, nil, fmt.Errorf("cluster: local listener %d: %w", i, lerr)
 		}
 		e := NewExecutor(workers)
+		e.Instrument(reg, strconv.Itoa(i))
 		listeners = append(listeners, l)
 		execs = append(execs, e)
 		go func(e *Executor, l net.Listener) {
 			if serr := e.Serve(l); serr != nil && !errors.Is(serr, net.ErrClosed) {
 				// Serve only returns on accept failure; after stop() that is
 				// the expected ErrClosed, anything else is worth a log line.
-				log.Printf("cluster: local executor %s: %v", l.Addr(), serr)
+				slog.Default().Warn("cluster: local executor failed", "addr", l.Addr().String(), "err", serr)
 			}
 		}(e, l)
 		addrs = append(addrs, l.Addr().String())

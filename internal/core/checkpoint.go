@@ -141,6 +141,10 @@ func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Se
 		tests:   h.Tests,
 		entropy: h.Entropy,
 		log:     h.Log,
+		// Resumed sessions start unobserved; the detached phase metrics keep
+		// the stage loop's timing path valid. Attach a registry by setting
+		// cfg.Obs before resuming a campaign through NewSessionOn instead.
+		phases: newStagePhases(nil),
 	}
 	if !h.Done {
 		backend := posterior.Kind(h.Backend)
@@ -198,7 +202,7 @@ func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Se
 			return nil, err
 		}
 		if full.Lookahead > 1 {
-			if _, ok := model.(denseBacked); !ok {
+			if _, ok := posterior.Base(model).(denseBacked); !ok {
 				return nil, fmt.Errorf("core: lookahead requires the dense backend, have %s", model.Kind())
 			}
 		}

@@ -16,12 +16,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/dilution"
 	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/posterior"
 )
 
@@ -96,6 +98,13 @@ type Config struct {
 	// Parts is the lattice partition count (engine default when 0). Dense
 	// backend only.
 	Parts int
+	// Obs, when non-nil, receives session metrics
+	// (sbgt_session_stage_seconds{phase}, stage/test counters) and wraps
+	// the posterior with posterior.Instrument so backend ops report too.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per stage with select / test /
+	// update / classify children.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -141,6 +150,37 @@ type denseBacked interface {
 	Lattice() *lattice.Model
 }
 
+// StageTiming is the wall-time breakdown of one session stage by phase.
+type StageTiming struct {
+	Stage    int           `json:"stage"`
+	Select   time.Duration `json:"select_ns"`
+	Test     time.Duration `json:"test_ns"`
+	Update   time.Duration `json:"update_ns"`
+	Classify time.Duration `json:"classify_ns"`
+}
+
+// stagePhases holds the per-phase latency histograms. The fields are
+// detached (but functional) histograms when no registry was configured,
+// so the stage loop times unconditionally.
+type stagePhases struct {
+	sel, test, update, classify *obs.Histogram
+	stages, tests               *obs.Counter
+}
+
+func newStagePhases(reg *obs.Registry) stagePhases {
+	hist := func(phase string) *obs.Histogram {
+		return reg.Histogram("sbgt_session_stage_seconds", nil, obs.L("phase", phase))
+	}
+	return stagePhases{
+		sel:      hist("select"),
+		test:     hist("test"),
+		update:   hist("update"),
+		classify: hist("classify"),
+		stages:   reg.Counter("sbgt_session_stages_total"),
+		tests:    reg.Counter("sbgt_session_tests_total"),
+	}
+}
+
 // Session is one cohort's classification campaign. Not safe for concurrent
 // use; the parallelism lives inside the posterior kernels.
 type Session struct {
@@ -153,6 +193,9 @@ type Session struct {
 	tests   int
 	entropy []float64 // posterior entropy after each stage (bits)
 	log     []TestRecord
+	phases  stagePhases
+	tracer  *obs.Tracer
+	timings []StageTiming
 }
 
 // NewSession builds the prior over the whole cohort on the dense
@@ -192,16 +235,19 @@ func NewSessionOn(model posterior.Model, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	if full.Lookahead > 1 {
-		if _, ok := model.(denseBacked); !ok {
+		if _, ok := posterior.Base(model).(denseBacked); !ok {
 			return nil, fmt.Errorf("core: lookahead requires the dense backend, have %s", model.Kind())
 		}
 	}
+	model = posterior.Instrument(model, full.Obs)
 	n := len(full.Risks)
 	s := &Session{
 		cfg:    full,
 		model:  model,
 		active: make([]int, n),
 		calls:  make([]Classification, n),
+		phases: newStagePhases(full.Obs),
+		tracer: full.Tracer,
 	}
 	for i := range s.active {
 		s.active[i] = i
@@ -287,45 +333,76 @@ func (s *Session) Step(test TestFunc) error {
 	if test == nil {
 		return fmt.Errorf("core: nil test function")
 	}
+	span := s.tracer.Start("stage", obs.A("stage", s.stage+1))
+	defer span.End()
+	timing := StageTiming{Stage: s.stage + 1}
+	defer func() {
+		s.timings = append(s.timings, timing)
+		s.phases.stages.Inc()
+	}()
+
+	sel := span.Child("select")
 	var pools []bitvec.Mask
 	if s.cfg.Lookahead > 1 {
 		h := s.cfg.Strategy.(halving.Halving)
-		dense := s.model.(denseBacked) // checked at construction
+		dense := posterior.Base(s.model).(denseBacked) // checked at construction
 		sels := halving.SelectLookahead(dense.Lattice(), s.cfg.Lookahead, h.Opts)
-		for _, sel := range sels {
-			pools = append(pools, sel.Pool)
+		for _, se := range sels {
+			pools = append(pools, se.Pool)
 		}
 	} else {
 		p, err := s.cfg.Strategy.Next(s.model)
 		if err != nil {
+			sel.End()
 			return fmt.Errorf("core: strategy %s: %w", s.cfg.Strategy.Name(), err)
 		}
 		pools = []bitvec.Mask{p}
 	}
+	timing.Select = sel.End()
+	s.phases.sel.Observe(timing.Select.Seconds())
+
 	s.stage++
+	timing.Stage = s.stage
 	for _, p := range pools {
 		if p == 0 {
 			return fmt.Errorf("core: strategy %s selected an empty pool", s.cfg.Strategy.Name())
 		}
 		gp := s.globalMask(p)
+		ts := span.Child("test")
 		y := test(gp)
+		timing.Test += ts.End()
 		s.tests++
+		s.phases.tests.Inc()
 		s.log = append(s.log, TestRecord{Stage: s.stage, Pool: gp, Outcome: y})
-		if err := s.model.Update(p, y); err != nil {
+		us := span.Child("update")
+		err := s.model.Update(p, y)
+		timing.Update += us.End()
+		if err != nil {
 			return fmt.Errorf("core: stage %d: %w", s.stage, err)
 		}
 	}
-	if err := s.classify(); err != nil {
+	s.phases.test.Observe(timing.Test.Seconds())
+	s.phases.update.Observe(timing.Update.Seconds())
+
+	cs := span.Child("classify")
+	err := s.classify()
+	if err == nil && s.model != nil {
+		var ent float64
+		if ent, err = s.model.Entropy(); err == nil {
+			s.entropy = append(s.entropy, ent)
+		}
+	}
+	timing.Classify = cs.End()
+	s.phases.classify.Observe(timing.Classify.Seconds())
+	if err != nil {
 		return fmt.Errorf("core: stage %d: %w", s.stage, err)
 	}
-	if s.model != nil {
-		ent, err := s.model.Entropy()
-		if err != nil {
-			return fmt.Errorf("core: stage %d entropy: %w", s.stage, err)
-		}
-		s.entropy = append(s.entropy, ent)
-	}
 	return nil
+}
+
+// StageTimings returns the per-stage phase breakdown recorded so far.
+func (s *Session) StageTimings() []StageTiming {
+	return append([]StageTiming(nil), s.timings...)
 }
 
 // classify repeatedly conditions out the most certain subject until no
@@ -410,6 +487,7 @@ type Result struct {
 	Converged       bool             // false when MaxStages forced the tail calls
 	EntropyTrace    []float64        // posterior entropy (bits) after each stage; [0] is the prior
 	Log             []TestRecord     // every test in execution order
+	StageTimings    []StageTiming    // wall-time phase breakdown per stage
 }
 
 // TestsPerSubject returns Tests divided by the cohort size.
@@ -455,6 +533,7 @@ func (s *Session) Run(test TestFunc) (*Result, error) {
 		Converged:       converged,
 		EntropyTrace:    append([]float64(nil), s.entropy...),
 		Log:             append([]TestRecord(nil), s.log...),
+		StageTimings:    s.StageTimings(),
 	}, nil
 }
 

@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Pool is a fixed-size worker pool. The zero value is not usable; create
@@ -45,6 +47,59 @@ type Pool struct {
 	// submitter with a send on a closed channel.
 	mu     sync.RWMutex
 	closed bool
+
+	// metrics is nil until Instrument attaches a registry; the hot path
+	// pays one atomic load and a branch when uninstrumented.
+	metrics atomic.Pointer[poolMetrics]
+}
+
+// poolMetrics is the pool's reporting surface, registered by Instrument.
+type poolMetrics struct {
+	tasks      *obs.Counter   // every task executed (worker-run or inline)
+	inline     *obs.Counter   // the subset run inline (closed pool, saturated workers, or the single-chunk fast path)
+	inflight   *obs.Gauge     // tasks currently executing
+	taskTime   *obs.Histogram // per-task wall time
+	submitWait *obs.Histogram // submit-to-start queue latency
+}
+
+// wrap instruments one task: queue wait observed when the task starts,
+// in-flight gauge held for the task body, wall time observed on return.
+func (m *poolMetrics) wrap(fn func()) func() {
+	wait := m.submitWait.Time()
+	return func() {
+		wait()
+		m.inflight.Inc()
+		stop := m.taskTime.Time()
+		defer func() {
+			stop()
+			m.inflight.Dec()
+			m.tasks.Inc()
+		}()
+		fn()
+	}
+}
+
+// Instrument attaches the pool to a registry under the
+// sbgt_engine_pool_* family: tasks/inline counters, an in-flight gauge, a
+// live queue-depth gauge, and task-time and submit-wait histograms. A nil
+// registry detaches nothing and costs nothing; calling Instrument again
+// re-points the pool at the new registry.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &poolMetrics{
+		tasks:      reg.Counter("sbgt_engine_pool_tasks_total"),
+		inline:     reg.Counter("sbgt_engine_pool_inline_total"),
+		inflight:   reg.Gauge("sbgt_engine_pool_inflight"),
+		taskTime:   reg.Histogram("sbgt_engine_pool_task_seconds", nil),
+		submitWait: reg.Histogram("sbgt_engine_pool_submit_wait_seconds", nil),
+	}
+	reg.Gauge("sbgt_engine_pool_workers").Set(float64(p.workers))
+	reg.GaugeFunc("sbgt_engine_pool_queue_depth", func() float64 {
+		return float64(len(p.tasks))
+	})
+	p.metrics.Store(m)
 }
 
 // NewPool returns a pool with the given number of workers; workers <= 0
@@ -92,9 +147,16 @@ func (p *Pool) Close() {
 // every worker is saturated (which also makes accidental nesting safe
 // instead of deadlocking).
 func (p *Pool) submit(fn func()) {
+	m := p.metrics.Load()
+	if m != nil {
+		fn = m.wrap(fn)
+	}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
+		if m != nil {
+			m.inline.Inc()
+		}
 		fn()
 		return
 	}
@@ -103,6 +165,9 @@ func (p *Pool) submit(fn func()) {
 		p.mu.RUnlock()
 	default:
 		p.mu.RUnlock()
+		if m != nil {
+			m.inline.Inc()
+		}
 		fn()
 	}
 }
@@ -148,12 +213,18 @@ func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
 		spawn = chunks
 	}
 	if spawn == 1 {
-		// Single chunk: skip the scheduling machinery entirely.
+		// Single chunk: skip the scheduling machinery entirely (but still
+		// count the work as an inline task when instrumented).
 		var box panicBox
-		func() {
+		run := func() {
 			defer box.capture()
 			fn(0, n)
-		}()
+		}
+		if m := p.metrics.Load(); m != nil {
+			m.inline.Inc()
+			run = m.wrap(run)
+		}
+		run()
 		box.rethrow()
 		return
 	}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPoolInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(4)
+	defer p.Close()
+	p.Instrument(reg)
+
+	const n = 1000
+	var sum atomic.Int64
+	p.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if got := sum.Load(); got != n*(n-1)/2 {
+		t.Fatalf("For under instrumentation computed %d", got)
+	}
+
+	snap := reg.Snapshot()
+	var tasks, inline uint64
+	var taskCount uint64
+	var workers float64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "sbgt_engine_pool_tasks_total":
+			tasks = c.Value
+		case "sbgt_engine_pool_inline_total":
+			inline = c.Value
+		}
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "sbgt_engine_pool_workers" {
+			workers = g.Value
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "sbgt_engine_pool_task_seconds" {
+			taskCount = h.Count
+		}
+	}
+	if tasks == 0 {
+		t.Error("no tasks counted")
+	}
+	if inline > tasks {
+		t.Errorf("inline %d exceeds total tasks %d", inline, tasks)
+	}
+	if taskCount != tasks {
+		t.Errorf("task_seconds count %d != tasks_total %d", taskCount, tasks)
+	}
+	if workers != 4 {
+		t.Errorf("workers gauge = %v, want 4", workers)
+	}
+
+	// Post-close submissions run inline and keep counting.
+	before := tasks + inline
+	p.Close()
+	p.Run(3, func(int) {})
+	snap = reg.Snapshot()
+	var after uint64
+	for _, c := range snap.Counters {
+		if c.Name == "sbgt_engine_pool_tasks_total" || c.Name == "sbgt_engine_pool_inline_total" {
+			after += c.Value
+		}
+	}
+	if after <= before {
+		t.Errorf("post-close tasks not counted: before %d after %d", before, after)
+	}
+}
+
+func TestPoolInstrumentNilRegistry(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Instrument(nil)
+	done := false
+	p.Run(1, func(int) { done = true })
+	if !done {
+		t.Fatal("task did not run")
+	}
+}

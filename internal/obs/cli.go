@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// CLIFlags bundles the observability flags every sbgt command shares:
+// -metrics-addr, -log-level, and -trace-out. Register them with
+// RegisterFlags, parse, then call Start to materialize the runtime.
+type CLIFlags struct {
+	MetricsAddr string
+	LogLevel    string
+	TraceOut    string
+}
+
+// RegisterFlags installs the shared observability flags on fs
+// (flag.CommandLine when nil) and returns the struct they populate.
+func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &CLIFlags{}
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "",
+		"serve /metrics, /metrics.json, /healthz, /spans, and pprof on this address (empty = off)")
+	fs.StringVar(&f.LogLevel, "log-level", "info",
+		"log verbosity: debug | info | warn | error")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write collected spans as NDJSON to this file on exit (empty = off)")
+	return f
+}
+
+// Runtime is the live observability state a command builds from its
+// flags: a metric registry, a span tracer, a leveled stderr logger, and
+// (when -metrics-addr is set) an HTTP introspection server. Close
+// releases the server and flushes the trace file.
+type Runtime struct {
+	Reg    *Registry
+	Tracer *Tracer
+	Log    *slog.Logger
+
+	server   *Server
+	traceOut string
+}
+
+// Start materializes the parsed flags into a Runtime. component tags
+// every log line with the command's name.
+func (f *CLIFlags) Start(component string) (*Runtime, error) {
+	log, err := CLILogger(os.Stderr, component, f.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		Reg:      NewRegistry(),
+		Tracer:   NewTracer(0),
+		Log:      log,
+		traceOut: f.TraceOut,
+	}
+	if f.MetricsAddr != "" {
+		rt.server, err = Serve(f.MetricsAddr, rt.Reg, rt.Tracer, rt.Log)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// MetricsAddr reports the bound metrics address ("" when disabled) —
+// useful when the flag asked for port 0.
+func (rt *Runtime) MetricsAddr() string {
+	if rt.server == nil {
+		return ""
+	}
+	return rt.server.Addr()
+}
+
+// Fatal logs err at error level and exits the process with status 1.
+// It is the obs-flavored replacement for log.Fatal in command mains.
+func (rt *Runtime) Fatal(err error) {
+	rt.Log.Error(err.Error())
+	os.Exit(1)
+}
+
+// Close stops the metrics server (if any) and writes the trace file (if
+// configured). It returns the first error; commands exiting anyway may
+// log it at warn level.
+func (rt *Runtime) Close() error {
+	var first error
+	if rt.server != nil {
+		if err := rt.server.Close(); err != nil {
+			first = err
+		}
+	}
+	if rt.traceOut != "" {
+		f, err := os.Create(rt.traceOut)
+		if err == nil {
+			err = rt.Tracer.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("obs: trace-out: %w", err)
+		}
+	}
+	return first
+}

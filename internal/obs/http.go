@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the observability HTTP mux:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/metrics.json   JSON snapshot of the registry
+//	/healthz        liveness probe (200 "ok")
+//	/spans          JSON-lines dump of the tracer's buffered spans
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// reg and tracer may be nil; the corresponding endpoints then serve
+// empty documents. The mux is standalone (not http.DefaultServeMux), so
+// importing this package never leaks pprof onto a server the caller did
+// not ask for.
+func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var snap *Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		} else {
+			snap = &Snapshot{}
+		}
+		if err := snap.WritePrometheus(w); err != nil {
+			// The client hung up mid-write; nothing to recover.
+			return
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap *Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		} else {
+			snap = &Snapshot{}
+		}
+		if err := snap.WriteJSON(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := tracer.WriteJSON(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability mux on addr (host:port; ":0" picks an
+// ephemeral port) and serves it on a background goroutine. The returned
+// Server reports the bound address and shuts the listener down on Close.
+// log, if non-nil, receives a startup line and any serve failure.
+func Serve(addr string, reg *Registry, tracer *Tracer, log *slog.Logger) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	log = OrNop(log)
+	srv := &http.Server{
+		Handler:           NewMux(reg, tracer),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s := &Server{lis: lis, srv: srv}
+	go func() {
+		if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("obs: metrics server stopped", "addr", lis.Addr().String(), "err", err)
+		}
+	}()
+	log.Info("obs: serving metrics", "addr", lis.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server and releases the listener. Idempotent.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sbgt_http_test_total").Add(3)
+	tr := NewTracer(8)
+	tr.Start("probe").End()
+
+	srv, err := Serve("127.0.0.1:0", reg, tr, NopLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "sbgt_http_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+
+	body, _ = get("/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	body, ctype = get("/metrics.json")
+	if !strings.Contains(body, `"sbgt_http_test_total"`) || !strings.Contains(ctype, "json") {
+		t.Errorf("/metrics.json = %q (%s)", body, ctype)
+	}
+
+	body, _ = get("/spans")
+	if !strings.Contains(body, `"probe"`) {
+		t.Errorf("/spans = %q", body)
+	}
+
+	// pprof index must answer (it proves the mux wiring, not the profiler).
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index did not render: %q", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", nil, nil, nil); err == nil {
+		t.Fatal("Serve on an invalid address succeeded")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		ok   bool
+		want string
+	}{
+		{"", true, "INFO"}, {"info", true, "INFO"}, {"DEBUG", true, "DEBUG"},
+		{"warn", true, "WARN"}, {"warning", true, "WARN"}, {"error", true, "ERROR"},
+		{"verbose", false, ""},
+	} {
+		lv, err := ParseLevel(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseLevel(%q) err = %v", tc.in, err)
+			continue
+		}
+		if tc.ok && lv.String() != tc.want {
+			t.Errorf("ParseLevel(%q) = %s, want %s", tc.in, lv, tc.want)
+		}
+	}
+}
+
+func TestCLILogger(t *testing.T) {
+	var sb strings.Builder
+	l, err := CLILogger(&sb, "sbgt", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hello", "k", "v")
+	out := sb.String()
+	if !strings.Contains(out, "component=sbgt") || !strings.Contains(out, "hello") {
+		t.Errorf("log line = %q", out)
+	}
+	if _, err := CLILogger(&sb, "sbgt", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+	// The nop logger must swallow output silently.
+	OrNop(nil).Error("dropped")
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level. Accepted
+// values (case-insensitive): debug, info, warn, error. The empty string
+// selects info.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger returns a leveled text logger writing to w, tagged with the
+// component name. It is the one logger constructor the CLIs and
+// long-running components share, so log output is uniform across the
+// system.
+func NewLogger(w io.Writer, level slog.Level, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	l := slog.New(h)
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l
+}
+
+// CLILogger builds the standard CLI logger from a -log-level flag value,
+// writing to w (conventionally os.Stderr).
+func CLILogger(w io.Writer, component, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return NewLogger(w, lv, component), nil
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library components whose caller wired no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// OrNop returns l, or a discarding logger when l is nil, so library code
+// can log unconditionally.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// A builds an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// SpanRecord is one finished span as the tracer stores and exports it.
+type SpanRecord struct {
+	ID       uint64        `json:"id"`
+	ParentID uint64        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer collects finished spans in a bounded buffer. When the buffer is
+// full the oldest spans are dropped (and counted), so a long-running
+// process keeps the most recent trace window. A nil *Tracer is valid:
+// spans started on it still measure time but record nowhere.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []SpanRecord
+	limit   int
+	dropped uint64
+	nextID  atomic.Uint64
+}
+
+// NewTracer returns a tracer retaining at most limit finished spans
+// (limit <= 0 selects 4096).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &Tracer{limit: limit}
+}
+
+// Start opens a root span. The span measures from now until End; it is
+// recorded only if the tracer is non-nil.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	s := &Span{tracer: t, name: name, start: time.Now(), attrs: attrs}
+	if t != nil {
+		s.id = t.nextID.Add(1)
+	}
+	return s
+}
+
+// record appends one finished span, evicting the oldest on overflow.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.spans) >= t.limit {
+		drop := len(t.spans) - t.limit + 1
+		t.dropped += uint64(drop)
+		t.spans = append(t.spans[:0], t.spans[drop:]...)
+	}
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Drain returns the finished spans in completion order and clears the
+// buffer.
+func (t *Tracer) Drain() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := t.spans
+	t.spans = nil
+	t.mu.Unlock()
+	return out
+}
+
+// Dropped reports how many spans were evicted by the buffer bound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSON renders the currently buffered spans as one JSON-lines
+// record per span (without draining), the -trace-out file format.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, rec := range spans {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span is one named timed region. Spans nest: Child opens a sub-region
+// attributed to this span. Spans are not safe for concurrent use; give
+// each goroutine its own child.
+type Span struct {
+	tracer *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// Child opens a nested span under s, sharing its tracer.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	c := s.tracer.Start(name, attrs...)
+	c.parent = s.id
+	return c
+}
+
+// SetAttr attaches an attribute to the span before it ends.
+func (s *Span) SetAttr(key string, value any) {
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span, records it if a tracer is attached, and returns
+// the measured duration. End is idempotent; the first call wins.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	if s.tracer != nil {
+		s.tracer.record(SpanRecord{
+			ID:       s.id,
+			ParentID: s.parent,
+			Name:     s.name,
+			Start:    s.start,
+			Duration: d,
+			Attrs:    s.attrs,
+		})
+	}
+	return d
+}

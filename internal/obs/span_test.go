@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	stage := tr.Start("stage", A("stage", 1))
+	sel := stage.Child("select")
+	time.Sleep(time.Millisecond)
+	if d := sel.End(); d < time.Millisecond {
+		t.Fatalf("child span measured %v", d)
+	}
+	upd := stage.Child("update")
+	upd.SetAttr("op", "update")
+	upd.End()
+	stage.End()
+
+	spans := tr.Drain()
+	if len(spans) != 3 {
+		t.Fatalf("drained %d spans, want 3", len(spans))
+	}
+	// Children finish before the parent.
+	if spans[0].Name != "select" || spans[1].Name != "update" || spans[2].Name != "stage" {
+		t.Fatalf("span order = %v", []string{spans[0].Name, spans[1].Name, spans[2].Name})
+	}
+	parentID := spans[2].ID
+	for _, child := range spans[:2] {
+		if child.ParentID != parentID {
+			t.Errorf("span %s parent = %d, want %d", child.Name, child.ParentID, parentID)
+		}
+	}
+	if spans[2].ParentID != 0 {
+		t.Errorf("root span has parent %d", spans[2].ParentID)
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0].Key != "op" {
+		t.Errorf("update span attrs = %+v", spans[1].Attrs)
+	}
+	if tr.Drain() != nil {
+		t.Error("second drain returned spans")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	if got := len(tr.Drain()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestNilTracerSpansStillTime(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("free", A("k", "v"))
+	c := s.Child("child")
+	time.Sleep(time.Millisecond)
+	if d := c.End(); d < time.Millisecond {
+		t.Fatalf("nil-tracer child measured %v", d)
+	}
+	if d := s.End(); d < time.Millisecond {
+		t.Fatalf("nil-tracer span measured %v", d)
+	}
+	if tr.Drain() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer retained spans")
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Start("s").End()
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	if got := len(tr.Drain()); got != 3 {
+		t.Fatalf("retained = %d, want 3", got)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("alpha", A("n", 1)).End()
+	tr.Start("beta").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var rec SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "alpha" {
+		t.Fatalf("first record = %+v", rec)
+	}
+	// WriteJSON does not drain.
+	if got := len(tr.Drain()); got != 2 {
+		t.Fatalf("WriteJSON drained the tracer: %d left", got)
+	}
+}

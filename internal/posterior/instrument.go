@@ -1,0 +1,138 @@
+package posterior
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/obs"
+)
+
+// instrumented decorates a Model with per-operation latency histograms
+// and op/error counters, tagged by backend. It adds no behavior: every
+// call delegates to the wrapped model, and Condition re-wraps its result
+// so instrumentation survives sequential collapse.
+type instrumented struct {
+	m   Model
+	reg *obs.Registry
+
+	update, marginals, negMasses, prefix, entropy, condition *obs.Histogram
+	errs                                                     *obs.Counter
+}
+
+// Instrument wraps m so that Update, Marginals, NegMasses,
+// PrefixNegMasses, Entropy, and Condition report latency into
+// sbgt_posterior_op_seconds{backend,op} and failures into
+// sbgt_posterior_op_errors_total{backend}. A nil registry (or nil model)
+// returns m unchanged, so callers can wire instrumentation
+// unconditionally. Wrapping an already-instrumented model re-points it at
+// the new registry instead of stacking decorators.
+func Instrument(m Model, reg *obs.Registry) Model {
+	if m == nil || reg == nil {
+		return m
+	}
+	if w, ok := m.(*instrumented); ok {
+		m = w.m
+	}
+	backend := obs.L("backend", string(m.Kind()))
+	hist := func(op string) *obs.Histogram {
+		return reg.Histogram("sbgt_posterior_op_seconds", nil, backend, obs.L("op", op))
+	}
+	return &instrumented{
+		m:         m,
+		reg:       reg,
+		update:    hist("update"),
+		marginals: hist("marginals"),
+		negMasses: hist("neg_masses"),
+		prefix:    hist("prefix_neg_masses"),
+		entropy:   hist("entropy"),
+		condition: hist("condition"),
+		errs:      reg.Counter("sbgt_posterior_op_errors_total", backend),
+	}
+}
+
+// Base strips any instrumentation decorators from m, returning the
+// underlying backend model. Callers that type-assert on concrete backend
+// capabilities (e.g. the dense lattice accessor) should assert on
+// Base(m).
+func Base(m Model) Model {
+	for {
+		u, ok := m.(interface{ Unwrap() Model })
+		if !ok {
+			return m
+		}
+		m = u.Unwrap()
+	}
+}
+
+// Unwrap exposes the wrapped model, making the decorator transparent to
+// Base and errors.As-style capability probes.
+func (w *instrumented) Unwrap() Model { return w.m }
+
+func (w *instrumented) N() int                     { return w.m.N() }
+func (w *instrumented) Kind() Kind                 { return w.m.Kind() }
+func (w *instrumented) Risks() []float64           { return w.m.Risks() }
+func (w *instrumented) Response() dilution.Response { return w.m.Response() }
+func (w *instrumented) Tests() int                 { return w.m.Tests() }
+
+// fail counts an error without branching at every call site.
+func (w *instrumented) fail(err error) error {
+	if err != nil {
+		w.errs.Inc()
+	}
+	return err
+}
+
+func (w *instrumented) Update(pool bitvec.Mask, y dilution.Outcome) error {
+	stop := w.update.Time()
+	defer stop()
+	return w.fail(w.m.Update(pool, y))
+}
+
+func (w *instrumented) Marginals() ([]float64, error) {
+	stop := w.marginals.Time()
+	defer stop()
+	v, err := w.m.Marginals()
+	return v, w.fail(err)
+}
+
+func (w *instrumented) NegMasses(cands []bitvec.Mask) ([]float64, error) {
+	stop := w.negMasses.Time()
+	defer stop()
+	v, err := w.m.NegMasses(cands)
+	return v, w.fail(err)
+}
+
+func (w *instrumented) PrefixNegMasses(order []int) ([]float64, error) {
+	stop := w.prefix.Time()
+	defer stop()
+	v, err := w.m.PrefixNegMasses(order)
+	return v, w.fail(err)
+}
+
+func (w *instrumented) Entropy() (float64, error) {
+	stop := w.entropy.Time()
+	defer stop()
+	v, err := w.m.Entropy()
+	return v, w.fail(err)
+}
+
+func (w *instrumented) Condition(subject int, positive bool) (Model, error) {
+	stop := w.condition.Time()
+	defer stop()
+	next, err := w.m.Condition(subject, positive)
+	if err != nil {
+		return nil, w.fail(err)
+	}
+	if next == nil {
+		// Zero-mass event or degenerate collapse: the receiver is unchanged
+		// and still instrumented.
+		return nil, nil
+	}
+	return Instrument(next, w.reg), nil
+}
+
+func (w *instrumented) Snapshot() (*Snapshot, error) {
+	s, err := w.m.Snapshot()
+	return s, w.fail(err)
+}
+
+func (w *instrumented) Close() error { return w.m.Close() }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dilution"
 	"repro/internal/engine"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -39,6 +40,15 @@ type Spec struct {
 	// DialTimeout bounds each executor's dial + prior build (<= 0 means
 	// no deadline).
 	DialTimeout time.Duration
+	// DialAttempts is how many times each executor is dialed before the
+	// fan-out fails (<= 0 selects 1). Cluster only.
+	DialAttempts int
+
+	// Obs, when non-nil, instruments the opened model with
+	// posterior.Instrument and wires backend-internal metrics: cluster RPC
+	// latency, bytes on the wire, dial retries, and (for local executors)
+	// executor pool and shard series.
+	Obs *obs.Registry
 }
 
 // Open builds the prior posterior for the spec. pool is used by the
@@ -49,11 +59,12 @@ func (s Spec) Open(pool *engine.Pool, risks []float64, resp dilution.Response) (
 	if err != nil {
 		return nil, err
 	}
+	var m Model
 	switch kind {
 	case KindDense:
-		return NewDense(pool, lattice.Config{Risks: risks, Response: resp, Parts: s.Parts})
+		m, err = NewDense(pool, lattice.Config{Risks: risks, Response: resp, Parts: s.Parts})
 	case KindSparse:
-		return NewSparse(sparse.Config{Risks: risks, Response: resp, Eps: s.Eps, MaxStates: s.MaxStates})
+		m, err = NewSparse(sparse.Config{Risks: risks, Response: resp, Eps: s.Eps, MaxStates: s.MaxStates})
 	case KindCluster:
 		addrs := s.Addrs
 		var stop func()
@@ -61,20 +72,29 @@ func (s Spec) Open(pool *engine.Pool, risks []float64, resp dilution.Response) (
 			if s.LocalExecutors <= 0 {
 				return nil, fmt.Errorf("posterior: cluster backend needs executor addresses or LocalExecutors > 0")
 			}
-			var err error
-			addrs, stop, err = cluster.StartLocal(s.LocalExecutors, s.ExecWorkers)
+			addrs, stop, err = cluster.StartLocalObs(s.LocalExecutors, s.ExecWorkers, s.Obs)
 			if err != nil {
 				return nil, err
 			}
 		}
-		m, err := cluster.Dial(addrs, risks, resp, s.DialTimeout)
+		var cm *cluster.Model
+		cm, err = cluster.DialWith(addrs, risks, resp, cluster.DialOptions{
+			Timeout:  s.DialTimeout,
+			Attempts: s.DialAttempts,
+			Obs:      s.Obs,
+		})
 		if err != nil {
 			if stop != nil {
 				stop()
 			}
 			return nil, err
 		}
-		return FromCluster(m, stop), nil
+		m = FromCluster(cm, stop)
+	default:
+		return nil, fmt.Errorf("posterior: unknown backend %q", kind)
 	}
-	return nil, fmt.Errorf("posterior: unknown backend %q", kind)
+	if err != nil {
+		return nil, err
+	}
+	return Instrument(m, s.Obs), nil
 }

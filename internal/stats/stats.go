@@ -21,6 +21,7 @@ import (
 	"repro/internal/dilution"
 	"repro/internal/engine"
 	"repro/internal/halving"
+	"repro/internal/obs"
 	"repro/internal/posterior"
 	"repro/internal/prob"
 	"repro/internal/rng"
@@ -112,6 +113,12 @@ type StudyConfig struct {
 	Replicates int
 	// Seed roots the deterministic replicate streams.
 	Seed uint64
+	// Obs, when non-nil, instruments every replicate's session and
+	// backend into the shared registry: per-stage session phase
+	// timings, posterior per-op latency, and (for the cluster backend)
+	// RPC and executor series. The registry is concurrency-safe, so the
+	// parallel runner's replicates all report into it.
+	Obs *obs.Registry
 }
 
 // Replicate holds one simulated campaign's metrics.
@@ -194,7 +201,11 @@ func prepare(cfg StudyConfig) ([]*rng.Source, error) {
 // The session owns the opened model and closes it when the campaign
 // completes or the caller abandons it.
 func openSession(cfg StudyConfig, lp *engine.Pool, risks []float64, strat halving.Strategy) (*core.Session, error) {
-	model, err := cfg.Backend.Open(lp, risks, cfg.Response)
+	spec := cfg.Backend
+	if spec.Obs == nil {
+		spec.Obs = cfg.Obs
+	}
+	model, err := spec.Open(lp, risks, cfg.Response)
 	if err != nil {
 		return nil, err
 	}
@@ -206,6 +217,7 @@ func openSession(cfg StudyConfig, lp *engine.Pool, risks []float64, strat halvin
 		PosThreshold: cfg.PosThreshold,
 		NegThreshold: cfg.NegThreshold,
 		MaxStages:    cfg.MaxStages,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		model.Close() //lint:allow errcheck teardown on a constructor failure path; the construction error wins

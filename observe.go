@@ -1,0 +1,37 @@
+package sbgt
+
+import (
+	"log/slog"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// Metrics is a process-wide metric registry: counters, gauges, and
+// histograms with a lock-free hot path, exportable as Prometheus text,
+// JSON, or expvar. Hand one to Engine.Instrument, Backend.Obs, and
+// Config.Obs to light up the whole pipeline.
+type Metrics = obs.Registry
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Tracer collects timing spans (Config.Tracer wires it into sessions).
+// limit bounds retained spans (<= 0 selects a default); the oldest are
+// dropped first.
+type Tracer = obs.Tracer
+
+// NewTracer creates a span collector.
+func NewTracer(limit int) *Tracer { return obs.NewTracer(limit) }
+
+// Instrument attaches the engine's worker pool to a registry (see
+// internal/obs): task counts, queue depth, in-flight gauge, task-time
+// and submit-wait histograms under sbgt_engine_pool_*.
+func (e *Engine) Instrument(reg *Metrics) { e.pool.Instrument(reg) }
+
+// ServeExecutorObs is ServeExecutor with the executor instrumented into
+// reg (request counts, shard size, pool series; nil disables) and its
+// protocol warnings routed to log (nil discards).
+func ServeExecutorObs(addr string, workers int, reg *Metrics, log *slog.Logger) error {
+	return cluster.ListenAndServeObs(addr, workers, reg, log)
+}

@@ -18,8 +18,8 @@ go run ./cmd/sbgt-lint ./...
 echo '== go test =='
 go test ./...
 
-echo '== go test -race (concurrency substrate + backend conformance) =='
-go test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core
+echo '== go test -race (concurrency substrate + backend conformance + obs) =='
+go test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core ./internal/obs
 
 echo '== fuzz smoke (10s each) =='
 go test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
