@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint vet race fuzz ci
+.PHONY: build test lint vet race fuzz ci bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,28 @@ lint:
 # backend conformance suite (which drives the cluster backend end to end
 # over loopback TCP). Short mode keeps the statistical loops out.
 race:
-	$(GO) test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core
+	$(GO) test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core ./internal/obs
 
 # Short fuzz smoke over the numeric-kernel invariants.
 fuzz:
 	$(GO) test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
 	$(GO) test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fuzztime 10s
+
+# Perf-regression harness (the BENCH trajectory). BENCH_EXPS picks the
+# experiments, BENCH_RATIO the slowdown bound sbgt-benchdiff applies.
+BENCH_EXPS ?= T1,F6
+BENCH_RATIO ?= 1.5
+
+# Record the committed baseline: run the bench experiments quick and
+# write BENCH_0.json (wall times + registry snapshot + git SHA).
+bench-baseline:
+	$(GO) run ./cmd/sbgt-bench -exp $(BENCH_EXPS) -quick -baseline BENCH_0.json
+
+# Compare a fresh run against the committed baseline; exits non-zero on
+# regression beyond the thresholds.
+bench-check:
+	$(GO) run ./cmd/sbgt-bench -exp $(BENCH_EXPS) -quick -baseline BENCH_new.json >/dev/null
+	$(GO) run ./cmd/sbgt-benchdiff -ratio $(BENCH_RATIO) BENCH_0.json BENCH_new.json
 
 # The full gate, identical to .github/workflows/ci.yml.
 ci:

@@ -22,6 +22,10 @@
 //	-json string    write a machine-readable run report (experiments,
 //	                wall times, and the full metric snapshot — including
 //	                per-stage session timings) to this file; "-" = stdout
+//	-baseline string
+//	                write a schema-versioned bench file (BENCH_<n>.json:
+//	                per-experiment wall times, registry snapshot, git SHA)
+//	                here, for regression comparison with sbgt-benchdiff
 //
 // Observability flags (shared across the sbgt commands):
 //
@@ -31,7 +35,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/benchfile"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/posterior"
@@ -107,14 +111,15 @@ func registry() []experiment {
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", `experiment ids, comma-separated, or "all"`)
-		quick   = flag.Bool("quick", false, "reduced problem sizes")
-		csv     = flag.Bool("csv", false, "also emit CSV")
-		workers = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
-		seed    = flag.Uint64("seed", 1, "root seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		backend = flag.String("backend", "dense", "posterior backend for the study experiments: dense | sparse | cluster")
-		jsonOut = flag.String("json", "", `write a JSON run report (wall times + metric snapshot) here; "-" = stdout`)
+		expFlag  = flag.String("exp", "all", `experiment ids, comma-separated, or "all"`)
+		quick    = flag.Bool("quick", false, "reduced problem sizes")
+		csv      = flag.Bool("csv", false, "also emit CSV")
+		workers  = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "root seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		backend  = flag.String("backend", "dense", "posterior backend for the study experiments: dense | sparse | cluster")
+		jsonOut  = flag.String("json", "", `write a JSON run report (wall times + metric snapshot) here; "-" = stdout`)
+		baseline = flag.String("baseline", "", `write a schema-versioned bench file (for sbgt-benchdiff) here; "-" = stdout`)
 	)
 	obsFlags := obs.RegisterFlags(nil)
 	flag.Parse()
@@ -174,7 +179,9 @@ func main() {
 		c.workers = runtime.GOMAXPROCS(0)
 	}
 	fmt.Printf("sbgt-bench: %d workers, quick=%v, seed=%d, backend=%s\n\n", c.workers, c.quick, c.seed, kind)
-	report := &runReport{Workers: c.workers, Quick: c.quick, Seed: c.seed, Backend: string(kind)}
+	// The run report and the bench baseline are the same schema-versioned
+	// artifact (benchfile.File); -json keeps its historical name.
+	report := &benchfile.File{Workers: c.workers, Quick: c.quick, Seed: c.seed, Backend: string(kind)}
 	for _, e := range exps {
 		if *expFlag != "all" && !want[e.id] {
 			continue
@@ -184,50 +191,21 @@ func main() {
 		if err := e.run(c); err != nil {
 			rt.Fatal(fmt.Errorf("%s: %v", e.id, err))
 		}
-		report.Experiments = append(report.Experiments, expReport{
+		report.Experiments = append(report.Experiments, benchfile.Experiment{
 			ID: e.id, Title: e.title, Seconds: time.Since(start).Seconds(),
 		})
 	}
-	if *jsonOut != "" {
+	if *jsonOut != "" || *baseline != "" {
 		report.Metrics = rt.Reg.Snapshot()
-		if err := writeReport(*jsonOut, report); err != nil {
+	}
+	for _, path := range []string{*jsonOut, *baseline} {
+		if path == "" {
+			continue
+		}
+		if err := benchfile.Write(path, report); err != nil {
 			rt.Fatal(err)
 		}
 	}
-}
-
-// runReport is the -json run summary: what ran, how long each experiment
-// took, and the full metric snapshot (per-stage session timings land here
-// as the sbgt_session_stage_seconds{phase=...} histograms when the study
-// experiments are instrumented).
-type runReport struct {
-	Workers     int           `json:"workers"`
-	Quick       bool          `json:"quick"`
-	Seed        uint64        `json:"seed"`
-	Backend     string        `json:"backend"`
-	Experiments []expReport   `json:"experiments"`
-	Metrics     *obs.Snapshot `json:"metrics"`
-}
-
-// expReport records one experiment's identity and wall time.
-type expReport struct {
-	ID      string  `json:"id"`
-	Title   string  `json:"title"`
-	Seconds float64 `json:"seconds"`
-}
-
-// writeReport marshals the report to path ("-" selects stdout).
-func writeReport(path string, r *runReport) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(buf)
-		return err
-	}
-	return os.WriteFile(path, buf, 0o644)
 }
 
 // sizes returns the lattice-size sweep for the speedup tables.

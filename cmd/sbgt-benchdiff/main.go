@@ -1,0 +1,99 @@
+// Command sbgt-benchdiff compares two bench files written by
+// `sbgt-bench -baseline` and fails (exit 1) when any experiment regressed
+// beyond the noise thresholds — the perf analogue of a failing test. It
+// is the comparison half of the BENCH trajectory: commit BENCH_0.json as
+// the baseline, let CI diff fresh runs against it.
+//
+// Usage:
+//
+//	sbgt-benchdiff [flags] OLD.json NEW.json
+//
+// Flags:
+//
+//	-ratio float        slowdown ratio bound (default 1.5: new > 1.5×old)
+//	-min-seconds float  absolute slowdown floor (default 0.05s); both
+//	                    bounds must be exceeded to count as a regression
+//	-override value     per-experiment ratio override, ID=RATIO
+//	                    (repeatable), e.g. -override F6=5
+//	-json               emit the comparison as JSON instead of a table
+//
+// Exit status: 0 no regressions, 1 regressions found, 2 usage or I/O
+// error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchfile"
+)
+
+// overrides collects repeatable -override ID=RATIO flags.
+type overrides map[string]float64
+
+func (o overrides) String() string { return fmt.Sprint(map[string]float64(o)) }
+
+func (o overrides) Set(v string) error {
+	id, val, ok := strings.Cut(v, "=")
+	if !ok || id == "" {
+		return fmt.Errorf("want ID=RATIO, got %q", v)
+	}
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || r <= 0 {
+		return fmt.Errorf("invalid ratio %q", val)
+	}
+	o[id] = r
+	return nil
+}
+
+func main() {
+	var (
+		ratio      = flag.Float64("ratio", 0, "slowdown ratio bound (0 selects 1.5)")
+		minSeconds = flag.Float64("min-seconds", 0, "absolute slowdown floor in seconds (0 selects 0.05)")
+		jsonOut    = flag.Bool("json", false, "emit the comparison as JSON")
+	)
+	over := overrides{}
+	flag.Var(over, "override", "per-experiment ratio override, ID=RATIO (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sbgt-benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sbgt-benchdiff:", err)
+		os.Exit(2)
+	}
+	oldF, err := benchfile.Read(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newF, err := benchfile.Read(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	res := benchfile.Diff(oldF, newF, benchfile.Thresholds{
+		Ratio:         *ratio,
+		MinSeconds:    *minSeconds,
+		PerExperiment: over,
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+	} else if err := res.WriteText(os.Stdout); err != nil {
+		fail(err)
+	}
+	if res.Regressed() {
+		os.Exit(1)
+	}
+}

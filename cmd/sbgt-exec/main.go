@@ -11,8 +11,11 @@
 // new driver connection rebuilds the shard with BuildPrior.
 //
 // With -metrics-addr the executor also serves its own /metrics (request
-// counts per op, shard size, worker-pool series), /healthz, and pprof —
-// the per-node introspection surface of a real deployment.
+// counts per op, shard size, worker-pool series), /healthz, /spans, and
+// pprof — the per-node introspection surface of a real deployment. When
+// a driver propagates a trace context, the executor's dispatch spans
+// appear both on its /spans endpoint and in the driver's assembled
+// trace (they ship back in the response trailer).
 package main
 
 import (
@@ -39,7 +42,7 @@ func main() {
 	}
 	defer rt.Close() //lint:allow errcheck best-effort teardown of the metrics server on exit
 
-	if err := sbgt.ServeExecutorObs(*listen, *workers, rt.Reg, rt.Log); err != nil {
+	if err := sbgt.ServeExecutorTraced(*listen, *workers, rt.Reg, rt.Tracer, rt.Log); err != nil {
 		rt.Fatal(err)
 	}
 }

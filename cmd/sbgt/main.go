@@ -15,6 +15,9 @@
 //	-backend string posterior backend: dense | sparse | cluster (default dense)
 //	-eps float      sparse backend: relative truncation threshold (default 1e-9)
 //	-execs int      cluster backend: local executors to start (default 2)
+//	-exec-addrs string
+//	                cluster backend: comma-separated external executor
+//	                addresses (sbgt-exec processes); overrides -execs
 //	-maxpool int    pool size cap (default 16)
 //	-lookahead int  pools selected per stage (default 1; dense backend only)
 //	-seed uint      RNG seed (default 1)
@@ -32,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	sbgt "repro"
@@ -54,6 +58,7 @@ func main() {
 		backend   = flag.String("backend", "dense", "posterior backend: dense | sparse | cluster")
 		eps       = flag.Float64("eps", 1e-9, "sparse backend: relative truncation threshold")
 		execs     = flag.Int("execs", 2, "cluster backend: local executors to start")
+		execAddrs = flag.String("exec-addrs", "", "cluster backend: comma-separated external executor addresses (overrides -execs)")
 	)
 	obsFlags := obs.RegisterFlags(nil)
 	flag.Parse()
@@ -104,11 +109,22 @@ func main() {
 		if err != nil {
 			rt.Fatal(err)
 		}
+		var addrs []string
+		if *execAddrs != "" {
+			for _, a := range strings.Split(*execAddrs, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+		}
 		model, err := eng.OpenBackend(sbgt.Backend{
 			Kind:           kind,
 			Eps:            *eps,
+			Addrs:          addrs,
 			LocalExecutors: *execs,
+			DialTimeout:    10 * time.Second,
 			Obs:            rt.Reg,
+			Tracer:         rt.Tracer,
 		}, risks, resp)
 		if err != nil {
 			rt.Fatal(err)

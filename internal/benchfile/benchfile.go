@@ -1,0 +1,260 @@
+// Package benchfile defines the schema-versioned performance-tracking
+// artifact of the reproduction (BENCH_<n>.json): one sbgt-bench run's
+// per-experiment wall times plus the environment that produced them, and
+// the regression comparison between two such files.
+//
+// The trajectory works like a test suite for performance: `sbgt-bench
+// -baseline BENCH_0.json` records a baseline, later runs write new files,
+// and sbgt-benchdiff compares them with per-metric noise thresholds so a
+// real slowdown fails CI while timer jitter does not.
+package benchfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion is the current bench-file schema. Readers accept exactly
+// this version: the file is a comparison artifact, and silently comparing
+// across schema changes is how regression gates rot.
+const SchemaVersion = 1
+
+// Experiment is one experiment's identity and measured wall time.
+type Experiment struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
+
+// File is one bench run: environment, per-experiment wall times, and the
+// full metric snapshot for deeper post-hoc analysis.
+type File struct {
+	Schema    int    `json:"schema"`
+	CreatedAt string `json:"created_at"`        // RFC3339, stamped by Write
+	GitSHA    string `json:"git_sha,omitempty"` // commit of the measured tree
+	GoVersion string `json:"go_version,omitempty"`
+
+	Workers     int           `json:"workers"`
+	Quick       bool          `json:"quick"`
+	Seed        uint64        `json:"seed"`
+	Backend     string        `json:"backend"`
+	Experiments []Experiment  `json:"experiments"`
+	Metrics     *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// Validate checks the invariants every reader relies on.
+func (f *File) Validate() error {
+	if f.Schema != SchemaVersion {
+		return fmt.Errorf("benchfile: schema %d, this build reads %d", f.Schema, SchemaVersion)
+	}
+	seen := map[string]bool{}
+	for i, e := range f.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("benchfile: experiment %d has no id", i)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("benchfile: duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+		if !(e.Seconds >= 0) {
+			return fmt.Errorf("benchfile: experiment %q has invalid wall time %v", e.ID, e.Seconds)
+		}
+	}
+	return nil
+}
+
+// Write stamps the file (schema, timestamp, Go version, and — best
+// effort — the git commit) and writes it to path. "-" selects stdout.
+func Write(path string, f *File) error {
+	f.Schema = SchemaVersion
+	if f.CreatedAt == "" {
+		f.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	if f.GoVersion == "" {
+		f.GoVersion = runtime.Version()
+	}
+	if f.GitSHA == "" {
+		f.GitSHA = GitSHA(".")
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Read loads and validates a bench file.
+func Read(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("benchfile: %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// GitSHA returns the short commit hash of the repository containing dir,
+// or "" when git (or the repository) is unavailable — bench files remain
+// writable from exported tarballs.
+func GitSHA(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Thresholds configures what counts as a regression. An experiment
+// regresses only when it is BOTH Ratio times slower AND MinSeconds
+// absolutely slower — the ratio alone would flag microsecond jitter on
+// fast experiments, the absolute floor alone would miss big relative
+// slowdowns on them.
+type Thresholds struct {
+	// Ratio is the multiplicative slowdown bound (<= 0 selects 1.5).
+	Ratio float64
+	// MinSeconds is the absolute slowdown floor (<= 0 selects 0.05).
+	MinSeconds float64
+	// PerExperiment overrides Ratio for specific experiment IDs — e.g. a
+	// network-bound experiment that needs more headroom in shared CI.
+	PerExperiment map[string]float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.Ratio <= 0 {
+		t.Ratio = 1.5
+	}
+	if t.MinSeconds <= 0 {
+		t.MinSeconds = 0.05
+	}
+	return t
+}
+
+// ratioFor returns the slowdown bound applying to one experiment.
+func (t Thresholds) ratioFor(id string) float64 {
+	if r, ok := t.PerExperiment[id]; ok && r > 0 {
+		return r
+	}
+	return t.Ratio
+}
+
+// Status classifies one experiment's delta.
+type Status string
+
+// Delta classifications.
+const (
+	StatusOK         Status = "ok"         // within thresholds
+	StatusRegression Status = "regression" // slower beyond thresholds
+	StatusImproved   Status = "improved"   // faster beyond the same bounds
+	StatusAdded      Status = "added"      // only in the new file
+	StatusRemoved    Status = "removed"    // only in the old file
+)
+
+// Delta is one experiment's old-vs-new comparison.
+type Delta struct {
+	ID     string  `json:"id"`
+	Old    float64 `json:"old_seconds"`
+	New    float64 `json:"new_seconds"`
+	Ratio  float64 `json:"ratio"` // new/old; 0 when not comparable
+	Limit  float64 `json:"limit"` // the ratio bound applied
+	Status Status  `json:"status"`
+}
+
+// DiffResult is the comparison of two bench files.
+type DiffResult struct {
+	Deltas      []Delta `json:"deltas"`
+	Regressions int     `json:"regressions"`
+}
+
+// Regressed reports whether any experiment regressed.
+func (r *DiffResult) Regressed() bool { return r.Regressions > 0 }
+
+// Diff compares two bench files experiment-by-experiment. Experiments
+// present on only one side are reported (added/removed) but never count
+// as regressions — the gate is about speed, not registry churn.
+func Diff(oldF, newF *File, th Thresholds) *DiffResult {
+	th = th.withDefaults()
+	oldBy := map[string]Experiment{}
+	for _, e := range oldF.Experiments {
+		oldBy[e.ID] = e
+	}
+	res := &DiffResult{}
+	seen := map[string]bool{}
+	for _, ne := range newF.Experiments {
+		seen[ne.ID] = true
+		oe, ok := oldBy[ne.ID]
+		if !ok {
+			res.Deltas = append(res.Deltas, Delta{ID: ne.ID, New: ne.Seconds, Status: StatusAdded})
+			continue
+		}
+		d := Delta{ID: ne.ID, Old: oe.Seconds, New: ne.Seconds, Limit: th.ratioFor(ne.ID), Status: StatusOK}
+		if oe.Seconds > 0 {
+			d.Ratio = ne.Seconds / oe.Seconds
+		}
+		slower := ne.Seconds - oe.Seconds
+		switch {
+		case ne.Seconds > oe.Seconds*d.Limit && slower > th.MinSeconds:
+			d.Status = StatusRegression
+			res.Regressions++
+		case oe.Seconds > ne.Seconds*d.Limit && -slower > th.MinSeconds:
+			d.Status = StatusImproved
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+	for _, oe := range oldF.Experiments {
+		if !seen[oe.ID] {
+			res.Deltas = append(res.Deltas, Delta{ID: oe.ID, Old: oe.Seconds, Status: StatusRemoved})
+		}
+	}
+	sort.Slice(res.Deltas, func(i, j int) bool { return res.Deltas[i].ID < res.Deltas[j].ID })
+	return res
+}
+
+// WriteText renders the comparison as an aligned table, one experiment
+// per line, regressions marked — the sbgt-benchdiff output.
+func (r *DiffResult) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %12s %12s %8s %8s  %s\n", "exp", "old (s)", "new (s)", "ratio", "limit", "status")
+	for _, d := range r.Deltas {
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", d.Ratio)
+		}
+		limit := "-"
+		if d.Limit > 0 {
+			limit = fmt.Sprintf("%.2fx", d.Limit)
+		}
+		fmt.Fprintf(&b, "%-6s %12.4f %12.4f %8s %8s  %s\n", d.ID, d.Old, d.New, ratio, limit, d.Status)
+	}
+	if r.Regressions > 0 {
+		fmt.Fprintf(&b, "\n%d regression(s)\n", r.Regressions)
+	} else {
+		b.WriteString("\nno regressions\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

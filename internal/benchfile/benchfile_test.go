@@ -1,0 +1,155 @@
+package benchfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(times map[string]float64) *File {
+	f := &File{Workers: 4, Seed: 1, Backend: "dense"}
+	for _, id := range []string{"T1", "T2", "F6"} {
+		if s, ok := times[id]; ok {
+			f.Experiments = append(f.Experiments, Experiment{ID: id, Title: id + " title", Seconds: s})
+		}
+	}
+	return f
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	f := sample(map[string]float64{"T1": 1.25, "T2": 0.5, "F6": 2})
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("schema = %d, want %d", got.Schema, SchemaVersion)
+	}
+	if got.CreatedAt == "" || got.GoVersion == "" {
+		t.Errorf("stamps missing: created_at=%q go=%q", got.CreatedAt, got.GoVersion)
+	}
+	if len(got.Experiments) != 3 || got.Experiments[0] != f.Experiments[0] {
+		t.Errorf("experiments = %+v", got.Experiments)
+	}
+}
+
+func TestReadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for name, tc := range map[string]struct{ content, wantErr string }{
+		"wrong-schema": {`{"schema": 99}`, "schema 99"},
+		"no-id":        {`{"schema": 1, "experiments": [{"seconds": 1}]}`, "no id"},
+		"dup-id":       {`{"schema": 1, "experiments": [{"id":"T1","seconds":1},{"id":"T1","seconds":2}]}`, "duplicate"},
+		"neg-time":     {`{"schema": 1, "experiments": [{"id":"T1","seconds":-1}]}`, "invalid wall time"},
+		"not-json":     {`}{`, "invalid character"},
+	} {
+		p := write(name+".json", tc.content)
+		_, err := Read(p)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+	if _, err := Read(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("reading a missing file succeeded")
+	}
+}
+
+func TestDiffParityIsClean(t *testing.T) {
+	old := sample(map[string]float64{"T1": 1.0, "T2": 0.5, "F6": 2})
+	res := Diff(old, sample(map[string]float64{"T1": 1.0, "T2": 0.5, "F6": 2}), Thresholds{})
+	if res.Regressed() || res.Regressions != 0 {
+		t.Fatalf("parity diff regressed: %+v", res)
+	}
+	for _, d := range res.Deltas {
+		if d.Status != StatusOK {
+			t.Errorf("%s status = %s, want ok", d.ID, d.Status)
+		}
+	}
+}
+
+func TestDiffFlagsInjectedRegression(t *testing.T) {
+	old := sample(map[string]float64{"T1": 1.0, "T2": 0.5, "F6": 2})
+	// T1 slowed 2x — past the default 1.5x ratio and the 50ms floor.
+	res := Diff(old, sample(map[string]float64{"T1": 2.0, "T2": 0.5, "F6": 2}), Thresholds{})
+	if !res.Regressed() || res.Regressions != 1 {
+		t.Fatalf("injected regression not flagged: %+v", res)
+	}
+	for _, d := range res.Deltas {
+		want := StatusOK
+		if d.ID == "T1" {
+			want = StatusRegression
+		}
+		if d.Status != want {
+			t.Errorf("%s status = %s, want %s", d.ID, d.Status, want)
+		}
+	}
+}
+
+func TestDiffNoiseThresholds(t *testing.T) {
+	// 3x slower but only 3ms absolute: under the MinSeconds floor, not a
+	// regression — fast experiments jitter multiplicatively.
+	old := sample(map[string]float64{"T1": 0.0015})
+	res := Diff(old, sample(map[string]float64{"T1": 0.0045}), Thresholds{})
+	if res.Regressed() {
+		t.Fatalf("sub-floor jitter flagged as regression: %+v", res.Deltas)
+	}
+	// 1.2x slower on a long experiment: over the floor but under the ratio.
+	old = sample(map[string]float64{"T1": 10})
+	res = Diff(old, sample(map[string]float64{"T1": 12}), Thresholds{})
+	if res.Regressed() {
+		t.Fatalf("sub-ratio slowdown flagged as regression: %+v", res.Deltas)
+	}
+	// Per-experiment override loosens the bound for a named experiment.
+	old = sample(map[string]float64{"T1": 1})
+	res = Diff(old, sample(map[string]float64{"T1": 3}), Thresholds{PerExperiment: map[string]float64{"T1": 5}})
+	if res.Regressed() {
+		t.Fatalf("override did not loosen the bound: %+v", res.Deltas)
+	}
+}
+
+func TestDiffAddedRemovedImproved(t *testing.T) {
+	old := sample(map[string]float64{"T1": 2.0, "T2": 0.5})
+	res := Diff(old, sample(map[string]float64{"T1": 0.5, "F6": 1}), Thresholds{})
+	if res.Regressed() {
+		t.Fatalf("added/removed/improved counted as regression: %+v", res)
+	}
+	byID := map[string]Delta{}
+	for _, d := range res.Deltas {
+		byID[d.ID] = d
+	}
+	if byID["T1"].Status != StatusImproved {
+		t.Errorf("T1 status = %s, want improved", byID["T1"].Status)
+	}
+	if byID["F6"].Status != StatusAdded {
+		t.Errorf("F6 status = %s, want added", byID["F6"].Status)
+	}
+	if byID["T2"].Status != StatusRemoved {
+		t.Errorf("T2 status = %s, want removed", byID["T2"].Status)
+	}
+}
+
+func TestDiffWriteText(t *testing.T) {
+	old := sample(map[string]float64{"T1": 1.0, "T2": 0.5})
+	res := Diff(old, sample(map[string]float64{"T1": 2.0, "T2": 0.5}), Thresholds{})
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T1", "regression", "1 regression(s)", "2.00x", "1.50x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff text missing %q:\n%s", want, out)
+		}
+	}
+}

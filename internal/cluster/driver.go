@@ -15,9 +15,12 @@ import (
 	"repro/internal/prob"
 )
 
-// conn is one executor connection with its shard assignment.
+// conn is one executor connection with its shard assignment. rank is the
+// executor's stable index in the fan-out — the bounded-cardinality label
+// dial and RPC metrics use instead of the (ephemeral) host:port string.
 type conn struct {
 	addr   string
+	rank   int
 	nc     net.Conn
 	enc    *gob.Encoder
 	dec    *gob.Decoder
@@ -28,7 +31,7 @@ type conn struct {
 // call sends one request and waits for its response.
 func (c *conn) call(req Request) (Response, error) {
 	if c.met != nil {
-		stop := c.met.rpc[req.Op].Time()
+		stop := c.met.rpcHist(req.Op, c.rank).Time()
 		defer stop()
 	}
 	if err := c.enc.Encode(req); err != nil {
@@ -62,6 +65,49 @@ type Model struct {
 	resp  dilution.Response
 	tests int
 	met   *clusterMetrics // nil when uninstrumented; shared by the conns
+
+	// Distributed tracing state: when tracer is set and parent holds a
+	// valid context (injected by the session via SetTraceContext), every
+	// fan-out RPC opens an rpc:<op> span under parent, propagates its
+	// context in the request frame, and absorbs the executor-side spans
+	// shipped back in the response trailer. Both transfer to the reduced
+	// model on Condition, like the connections themselves.
+	tracer *obs.Tracer
+	parent obs.TraceContext
+}
+
+// SetTraceContext points subsequent RPC spans at a new parent — the
+// session calls this with each stage-phase span's context so driver and
+// executor spans land under the right node of the session trace. An
+// invalid (zero) context disables tracing for subsequent calls.
+func (m *Model) SetTraceContext(tc obs.TraceContext) { m.parent = tc }
+
+// Tracer exposes the tracer RPC spans record into (nil when tracing is
+// not wired), for callers that assemble or export the trace.
+func (m *Model) Tracer() *obs.Tracer { return m.tracer }
+
+// call issues one RPC on c, wrapped in a driver-side span when tracing
+// is active: the span's context rides in the request frame, and the
+// executor's completed spans come back in the response trailer and are
+// absorbed into the driver's tracer.
+func (m *Model) call(c *conn, req Request) (Response, error) {
+	var span *obs.Span
+	if m.tracer != nil && m.parent.Valid() {
+		span = m.tracer.StartUnder("rpc:"+req.Op.String(), m.parent, obs.A("executor", c.rank))
+		req.Trace = span.Context().Encode()
+	}
+	resp, err := c.call(req)
+	if span != nil {
+		if len(resp.Spans) > 0 {
+			recs := make([]obs.SpanRecord, len(resp.Spans))
+			for i, ws := range resp.Spans {
+				recs[i] = ws.Record()
+			}
+			m.tracer.Absorb(recs...)
+		}
+		span.End()
+	}
+	return resp, err
 }
 
 // DialOptions tunes DialWith beyond the required executor set.
@@ -75,8 +121,13 @@ type DialOptions struct {
 	Attempts int
 	// Obs, when non-nil, receives driver-side metrics: per-op RPC latency
 	// histograms, bytes sent/received, dial retries, and per-executor
-	// shard-size gauges.
+	// shard-size gauges. Per-executor series use the stable fan-out rank
+	// as the executor label, not the host:port string.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records driver-side rpc:<op> spans and absorbs
+	// the executor spans shipped back in response trailers. Spans are only
+	// emitted once SetTraceContext installs a valid parent context.
+	Tracer *obs.Tracer
 }
 
 // Dial connects to the executors, shards the lattice across them
@@ -94,7 +145,7 @@ func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.
 // dialOne runs one connection attempt: TCP dial, deadline, prior build.
 // Errors are unadorned — DialWith wraps them with the executor address
 // and attempt number.
-func dialOne(addr string, lo, hi uint64, risks []float64, timeout time.Duration, met *clusterMetrics) (*conn, float64, error) {
+func dialOne(addr string, rank int, lo, hi uint64, risks []float64, timeout time.Duration, met *clusterMetrics) (*conn, float64, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, 0, err
@@ -110,7 +161,7 @@ func dialOne(addr string, lo, hi uint64, risks []float64, timeout time.Duration,
 			return nil, 0, fmt.Errorf("set deadline: %w", err)
 		}
 	}
-	c := &conn{addr: addr, nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), lo: lo, hi: hi, met: met}
+	c := &conn{addr: addr, rank: rank, nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), lo: lo, hi: hi, met: met}
 	resp, err := c.call(Request{Op: OpBuildPrior, Risks: risks, Lo: lo, Hi: hi})
 	if err != nil {
 		nc.Close() //lint:allow errcheck teardown of a connection we are abandoning
@@ -153,7 +204,7 @@ func DialWith(addrs []string, risks []float64, resp dilution.Response, opts Dial
 	if attempts < 1 {
 		attempts = 1
 	}
-	met := newClusterMetrics(opts.Obs)
+	met := newClusterMetrics(opts.Obs, len(addrs))
 	per := total / uint64(len(addrs))
 	rem := total % uint64(len(addrs))
 	conns := make([]*conn, len(addrs))
@@ -172,21 +223,21 @@ func DialWith(addrs []string, risks []float64, resp dilution.Response, opts Dial
 		go func(i int, addr string, lo, hi uint64) {
 			defer wg.Done()
 			for attempt := 1; attempt <= attempts; attempt++ {
-				c, sum, err := dialOne(addr, lo, hi, risks, opts.Timeout, met)
+				c, sum, err := dialOne(addr, i, lo, hi, risks, opts.Timeout, met)
 				if err == nil {
 					conns[i] = c
 					sums[i] = sum
 					return
 				}
 				errs[i] = fmt.Errorf("cluster: executor %s attempt %d/%d: %w", addr, attempt, attempts, err)
-				if attempt < attempts && met != nil {
-					met.dialRetries.Inc()
+				if attempt < attempts {
+					met.dialRetry(i)
 				}
 			}
 		}(i, addr, lo, hi)
 	}
 	wg.Wait()
-	m := &Model{conns: make([]*conn, 0, len(addrs)), n: n, risks: append([]float64(nil), risks...), resp: resp, met: met}
+	m := &Model{conns: make([]*conn, 0, len(addrs)), n: n, risks: append([]float64(nil), risks...), resp: resp, met: met, tracer: opts.Tracer}
 	var firstErr error
 	for i, c := range conns {
 		if c != nil {
@@ -261,7 +312,7 @@ func (m *Model) fanout(build func(c *conn) Request) ([]Response, error) {
 	for i, c := range m.conns {
 		go func(i int, c *conn) {
 			defer wg.Done()
-			resps[i], errs[i] = c.call(build(c))
+			resps[i], errs[i] = m.call(c, build(c))
 		}(i, c)
 	}
 	wg.Wait()

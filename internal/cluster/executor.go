@@ -19,9 +19,10 @@ import (
 // time. It owns a contiguous state range [lo, hi) and evaluates kernels
 // over it with a local engine pool.
 type Executor struct {
-	pool *engine.Pool
-	log  *slog.Logger
-	met  *executorMetrics // nil when uninstrumented
+	pool   *engine.Pool
+	log    *slog.Logger
+	met    *executorMetrics // nil when uninstrumented
+	tracer *obs.Tracer      // always non-nil; records traced dispatches
 
 	// Shard state, valid after OpBuildPrior.
 	n    int
@@ -31,14 +32,27 @@ type Executor struct {
 
 // NewExecutor returns an executor whose kernels run on workers local
 // goroutines (<= 0 selects GOMAXPROCS). Transport hiccups log through
-// slog.Default; redirect with SetLogger.
+// slog.Default; redirect with SetLogger. The executor owns a span tracer
+// (replaceable with SetTracer) so traced RPCs can ship their spans back
+// even when no introspection endpoint was configured.
 func NewExecutor(workers int) *Executor {
-	return &Executor{pool: engine.NewPool(workers), log: slog.Default()}
+	return &Executor{pool: engine.NewPool(workers), log: slog.Default(), tracer: obs.NewTracer(0)}
 }
 
 // SetLogger redirects the executor's transport logging. A nil logger
 // silences it.
 func (e *Executor) SetLogger(l *slog.Logger) { e.log = obs.OrNop(l) }
+
+// SetTracer redirects span recording — pass the runtime tracer served on
+// /spans so a standalone sbgt-exec exposes its side of every trace. A
+// nil tracer is replaced with a detached one: dispatch spans then still
+// get IDs and ship in response trailers, they just aren't retained.
+func (e *Executor) SetTracer(t *obs.Tracer) {
+	if t == nil {
+		t = obs.NewTracer(0)
+	}
+	e.tracer = t
+}
 
 // Close releases the local worker pool.
 func (e *Executor) Close() { e.pool.Close() }
@@ -82,12 +96,43 @@ func (e *Executor) handle(conn net.Conn) bool {
 			_ = enc.Encode(Response{Op: OpShutdown})
 			return true
 		}
-		resp := e.dispatch(req)
+		resp := e.serve(req)
 		if err := enc.Encode(resp); err != nil {
 			e.log.Warn("cluster executor: encode", "err", err)
 			return false
 		}
 	}
+}
+
+// serve evaluates one request, opening executor-side spans under the
+// propagated trace context when the request carries one: an exec:<op>
+// span for the whole dispatch with a kernel child for the shard
+// computation itself. Completed spans ride back in the response trailer
+// (and stay in the executor's own tracer for its /spans endpoint).
+func (e *Executor) serve(req Request) Response {
+	if req.Trace == "" {
+		return e.dispatch(req)
+	}
+	parent, err := obs.ParseTraceContext(req.Trace)
+	if err != nil {
+		// Tracing is advisory: a malformed context degrades the call to
+		// untraced rather than failing real work.
+		e.log.Warn("cluster executor: bad trace context", "err", err)
+		return e.dispatch(req)
+	}
+	span := e.tracer.StartUnder("exec:"+req.Op.String(), parent, obs.A("states", len(e.data)))
+	kernel := span.Child("kernel")
+	resp := e.dispatch(req)
+	kernel.End()
+	span.End()
+	resp.Spans = make([]WireSpan, 0, 2)
+	if rec, ok := span.Record(); ok {
+		resp.Spans = append(resp.Spans, wireFromRecord(rec))
+	}
+	if rec, ok := kernel.Record(); ok {
+		resp.Spans = append(resp.Spans, wireFromRecord(rec))
+	}
+	return resp
 }
 
 // dispatch evaluates one request against the shard.
@@ -406,6 +451,15 @@ func ListenAndServe(addr string, workers int) error {
 // reg (nil disables metrics) and logging through log (nil selects
 // slog.Default).
 func ListenAndServeObs(addr string, workers int, reg *obs.Registry, log *slog.Logger) error {
+	return ListenAndServeTraced(addr, workers, reg, nil, log)
+}
+
+// ListenAndServeTraced is ListenAndServeObs with the executor's dispatch
+// spans recorded into tracer — pass the runtime tracer backing the
+// process's /spans endpoint so the executor side of every distributed
+// trace is scrapeable in place as well as shipped back to the driver. A
+// nil tracer keeps the executor's private one.
+func ListenAndServeTraced(addr string, workers int, reg *obs.Registry, tracer *obs.Tracer, log *slog.Logger) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: listen %s: %w", addr, err)
@@ -415,6 +469,9 @@ func ListenAndServeObs(addr string, workers int, reg *obs.Registry, log *slog.Lo
 	defer e.Close()
 	if log != nil {
 		e.SetLogger(log)
+	}
+	if tracer != nil {
+		e.SetTracer(tracer)
 	}
 	e.Instrument(reg, "")
 	e.log.Info("cluster executor: serving", "addr", l.Addr().String())

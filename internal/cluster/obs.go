@@ -17,29 +17,55 @@ var allOps = []Op{
 // clusterMetrics is the driver-side reporting surface, shared by every
 // executor connection of one model (and transferred with them on
 // Condition). A nil *clusterMetrics disables all reporting.
+//
+// Per-executor series are labelled by the executor's stable fan-out rank
+// ("0", "1", …) rather than its host:port: ranks bound the label
+// cardinality at the fan-out width and stay comparable across redials,
+// where raw addresses would mint a fresh series per ephemeral port.
 type clusterMetrics struct {
 	reg         *obs.Registry
-	rpc         map[Op]*obs.Histogram // round-trip latency by op
+	rpc         []map[Op]*obs.Histogram // round-trip latency by executor rank and op
 	bytesSent   *obs.Counter
 	bytesRecv   *obs.Counter
-	dialRetries *obs.Counter
+	dialRetries []*obs.Counter // by executor rank
 }
 
-func newClusterMetrics(reg *obs.Registry) *clusterMetrics {
+func newClusterMetrics(reg *obs.Registry, executors int) *clusterMetrics {
 	if reg == nil {
 		return nil
 	}
 	m := &clusterMetrics{
 		reg:         reg,
-		rpc:         make(map[Op]*obs.Histogram, len(allOps)),
+		rpc:         make([]map[Op]*obs.Histogram, executors),
 		bytesSent:   reg.Counter("sbgt_cluster_bytes_sent_total"),
 		bytesRecv:   reg.Counter("sbgt_cluster_bytes_recv_total"),
-		dialRetries: reg.Counter("sbgt_cluster_dial_retries_total"),
+		dialRetries: make([]*obs.Counter, executors),
 	}
-	for _, op := range allOps {
-		m.rpc[op] = reg.Histogram("sbgt_cluster_rpc_seconds", nil, obs.L("op", op.String()))
+	for rank := 0; rank < executors; rank++ {
+		idx := obs.L("executor", strconv.Itoa(rank))
+		m.dialRetries[rank] = reg.Counter("sbgt_cluster_dial_retries_total", idx)
+		m.rpc[rank] = make(map[Op]*obs.Histogram, len(allOps))
+		for _, op := range allOps {
+			m.rpc[rank][op] = reg.Histogram("sbgt_cluster_rpc_seconds", nil, obs.L("op", op.String()), idx)
+		}
 	}
 	return m
+}
+
+// rpcHist returns the latency histogram for one (op, executor-rank) pair.
+func (m *clusterMetrics) rpcHist(op Op, rank int) *obs.Histogram {
+	if m == nil || rank < 0 || rank >= len(m.rpc) {
+		return nil // nil *obs.Histogram still times; it just records nowhere
+	}
+	return m.rpc[rank][op]
+}
+
+// dialRetry counts one redial of the executor at the given rank.
+func (m *clusterMetrics) dialRetry(rank int) {
+	if m == nil || rank < 0 || rank >= len(m.dialRetries) {
+		return
+	}
+	m.dialRetries[rank].Inc()
 }
 
 // noteShards publishes the fan-out width and each connection's shard size

@@ -17,7 +17,12 @@
 // point Spark reaches with its closure-cleaning + broadcast machinery.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Op identifies a kernel the driver can invoke on an executor.
 type Op uint8
@@ -95,6 +100,13 @@ type Request struct {
 	// Lo/Hi the owned range, as in BuildPrior; Lo == Hi is a valid empty
 	// shard when the lattice has shrunk below the executor count).
 	Data []float64
+	// Trace, when non-empty, is the W3C-traceparent-style context of the
+	// driver-side RPC span (obs.TraceContext.Encode). The executor opens
+	// its dispatch span as a child of it and ships the completed spans
+	// back in Response.Spans, so one session trace crosses the process
+	// boundary. Empty means the call is untraced and the executor records
+	// no spans for it.
+	Trace string
 }
 
 // Response is one executor→driver message.
@@ -103,6 +115,62 @@ type Response struct {
 	Err string // non-empty on failure; the rest of the payload is invalid
 	Sum float64
 	Vec []float64
+	// Spans is the trace trailer: the executor-side spans completed while
+	// serving this request (dispatch + kernel), present only when the
+	// request carried a trace context. The driver absorbs them into its
+	// own tracer so the assembled trace holds both sides of the RPC.
+	Spans []WireSpan
+}
+
+// WireSpan is one finished span in wire form: a gob-friendly flattening
+// of obs.SpanRecord (attribute values become strings, timestamps become
+// Unix nanos) so the protocol stays free of interface-typed payloads.
+type WireSpan struct {
+	TraceID  uint64
+	ID       uint64
+	ParentID uint64
+	Name     string
+	StartNs  int64 // span start, Unix nanoseconds (executor clock)
+	DurNs    int64
+	Attrs    []WireAttr
+}
+
+// WireAttr is one span attribute with its value rendered as a string.
+type WireAttr struct {
+	Key   string
+	Value string
+}
+
+// wireFromRecord flattens a finished span record for the wire.
+func wireFromRecord(rec obs.SpanRecord) WireSpan {
+	w := WireSpan{
+		TraceID:  rec.TraceID,
+		ID:       rec.ID,
+		ParentID: rec.ParentID,
+		Name:     rec.Name,
+		StartNs:  rec.Start.UnixNano(),
+		DurNs:    int64(rec.Duration),
+	}
+	for _, a := range rec.Attrs {
+		w.Attrs = append(w.Attrs, WireAttr{Key: a.Key, Value: fmt.Sprint(a.Value)})
+	}
+	return w
+}
+
+// Record re-inflates a wire span into the tracer's record form.
+func (w WireSpan) Record() obs.SpanRecord {
+	rec := obs.SpanRecord{
+		TraceID:  w.TraceID,
+		ID:       w.ID,
+		ParentID: w.ParentID,
+		Name:     w.Name,
+		Start:    time.Unix(0, w.StartNs),
+		Duration: time.Duration(w.DurNs),
+	}
+	for _, a := range w.Attrs {
+		rec.Attrs = append(rec.Attrs, obs.Attr{Key: a.Key, Value: a.Value})
+	}
+	return rec
 }
 
 // errorf builds a failure response for the given op.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/latticeio"
+	"repro/internal/obs"
 	"repro/internal/posterior"
 	"repro/internal/sparse"
 )
@@ -141,10 +142,12 @@ func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Se
 		tests:   h.Tests,
 		entropy: h.Entropy,
 		log:     h.Log,
-		// Resumed sessions start unobserved; the detached phase metrics keep
-		// the stage loop's timing path valid. Attach a registry by setting
-		// cfg.Obs before resuming a campaign through NewSessionOn instead.
+		// Resumed sessions start unobserved; the detached phase metrics and
+		// detached root span keep the stage loop's timing path valid. Attach
+		// a registry by setting cfg.Obs before resuming a campaign through
+		// NewSessionOn instead.
 		phases: newStagePhases(nil),
+		root:   (*obs.Tracer)(nil).Start("session"),
 	}
 	if !h.Done {
 		backend := posterior.Kind(h.Backend)

@@ -150,6 +150,26 @@ type denseBacked interface {
 	Lattice() *lattice.Model
 }
 
+// traceCarrier is the optional backend capability for distributed
+// tracing: a model that can accept a propagated trace context (the
+// cluster driver) emits its RPC spans under the session's live phase
+// span, so one assembled trace spans session, driver, and executors.
+type traceCarrier interface {
+	SetTraceContext(obs.TraceContext)
+}
+
+// carrierOf probes the backend under any instrumentation decorators for
+// the trace-carrier capability.
+func carrierOf(m posterior.Model) traceCarrier {
+	if m == nil {
+		return nil
+	}
+	if c, ok := posterior.Base(m).(traceCarrier); ok {
+		return c
+	}
+	return nil
+}
+
 // StageTiming is the wall-time breakdown of one session stage by phase.
 type StageTiming struct {
 	Stage    int           `json:"stage"`
@@ -194,7 +214,8 @@ type Session struct {
 	entropy []float64 // posterior entropy after each stage (bits)
 	log     []TestRecord
 	phases  stagePhases
-	tracer  *obs.Tracer
+	root    *obs.Span    // session-lifetime span; stage spans are its children
+	carrier traceCarrier // non-nil when the backend accepts trace contexts
 	timings []StageTiming
 }
 
@@ -242,13 +263,17 @@ func NewSessionOn(model posterior.Model, cfg Config) (*Session, error) {
 	model = posterior.Instrument(model, full.Obs)
 	n := len(full.Risks)
 	s := &Session{
-		cfg:    full,
-		model:  model,
-		active: make([]int, n),
-		calls:  make([]Classification, n),
-		phases: newStagePhases(full.Obs),
-		tracer: full.Tracer,
+		cfg:     full,
+		model:   model,
+		active:  make([]int, n),
+		calls:   make([]Classification, n),
+		phases:  newStagePhases(full.Obs),
+		root:    full.Tracer.Start("session", obs.A("subjects", n)),
+		carrier: carrierOf(model),
 	}
+	// Install the session context before the prior marginals/entropy below,
+	// so even pre-stage RPCs land in the trace.
+	s.setCarrierContext(s.root.Context())
 	for i := range s.active {
 		s.active[i] = i
 		s.calls[i] = Classification{Subject: i, Status: StatusUnknown, Marginal: full.Risks[i]}
@@ -292,12 +317,21 @@ func (s *Session) Remaining() int {
 // The session reads as Done afterwards. Idempotent; completed sessions
 // are already closed.
 func (s *Session) Close() error {
+	s.root.End() // idempotent; records the session span on first close
 	if s.model == nil {
 		return nil
 	}
 	err := s.model.Close()
 	s.model = nil
 	return err
+}
+
+// setCarrierContext points the backend's RPC spans at a new parent, when
+// the backend carries trace contexts at all.
+func (s *Session) setCarrierContext(tc obs.TraceContext) {
+	if s.carrier != nil {
+		s.carrier.SetTraceContext(tc)
+	}
 }
 
 // Classifications returns the per-subject calls made so far (global order).
@@ -333,8 +367,12 @@ func (s *Session) Step(test TestFunc) error {
 	if test == nil {
 		return fmt.Errorf("core: nil test function")
 	}
-	span := s.tracer.Start("stage", obs.A("stage", s.stage+1))
+	span := s.root.Child("stage", obs.A("stage", s.stage+1))
 	defer span.End()
+	// Each phase re-points the backend's RPC spans at its own child span;
+	// after the stage they fall back to the session root, covering any
+	// between-stage backend calls.
+	defer s.setCarrierContext(s.root.Context())
 	timing := StageTiming{Stage: s.stage + 1}
 	defer func() {
 		s.timings = append(s.timings, timing)
@@ -342,6 +380,7 @@ func (s *Session) Step(test TestFunc) error {
 	}()
 
 	sel := span.Child("select")
+	s.setCarrierContext(sel.Context())
 	var pools []bitvec.Mask
 	if s.cfg.Lookahead > 1 {
 		h := s.cfg.Strategy.(halving.Halving)
@@ -375,6 +414,7 @@ func (s *Session) Step(test TestFunc) error {
 		s.phases.tests.Inc()
 		s.log = append(s.log, TestRecord{Stage: s.stage, Pool: gp, Outcome: y})
 		us := span.Child("update")
+		s.setCarrierContext(us.Context())
 		err := s.model.Update(p, y)
 		timing.Update += us.End()
 		if err != nil {
@@ -385,6 +425,7 @@ func (s *Session) Step(test TestFunc) error {
 	s.phases.update.Observe(timing.Update.Seconds())
 
 	cs := span.Child("classify")
+	s.setCarrierContext(cs.Context())
 	err := s.classify()
 	if err == nil && s.model != nil {
 		var ent float64
@@ -475,6 +516,10 @@ func (s *Session) record(pos int, positive bool, marginal float64, forced bool) 
 		}
 	}
 	s.model = reduced
+	// Condition re-wraps the backend, so re-resolve the trace-carrier
+	// capability on the new wrapper (the context itself transfers with the
+	// driver's connections).
+	s.carrier = carrierOf(reduced)
 	s.active = append(s.active[:pos], s.active[pos+1:]...)
 	return nil
 }

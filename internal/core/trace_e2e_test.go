@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/dilution"
+	"repro/internal/obs"
+	"repro/internal/posterior"
+)
+
+// TestSessionClusterTraceAssembles is the end-to-end distributed-tracing
+// acceptance test: a cluster-backed session (loopback executors, the real
+// wire protocol) run to completion must yield ONE assembled trace in
+// which the RPC round trips and the executor-side kernels all hang off
+// the session root via the stage-phase spans.
+func TestSessionClusterTraceAssembles(t *testing.T) {
+	tracer := obs.NewTracer(0)
+	risks := []float64{0.05, 0.2, 0.1, 0.3}
+	model, err := posterior.Spec{
+		Kind:           posterior.KindCluster,
+		LocalExecutors: 2,
+		ExecWorkers:    1,
+		DialTimeout:    5 * time.Second,
+		Tracer:         tracer,
+	}.Open(nil, risks, dilution.Binary{Sens: 0.95, Spec: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSessionOn(model, Config{Tracer: tracer})
+	if err != nil {
+		model.Close() //lint:allow errcheck teardown after a failed construction
+		t.Fatal(err)
+	}
+	infected := bitvec.FromIndices(1)
+	res, err := s.Run(func(pool bitvec.Mask) dilution.Outcome {
+		if !pool.Disjoint(infected) {
+			return dilution.Positive
+		}
+		return dilution.Negative
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent; ends the session span
+		t.Fatal(err)
+	}
+	if res.Stages == 0 {
+		t.Fatal("session ran no stages")
+	}
+
+	spans, dropped := tracer.Snapshot()
+	if dropped != 0 {
+		t.Fatalf("tracer dropped %d spans", dropped)
+	}
+	traces := obs.Assemble(spans)
+	if len(traces) != 1 {
+		t.Fatalf("assembled %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "session" {
+		names := make([]string, len(tr.Roots))
+		for i, r := range tr.Roots {
+			names[i] = r.Name
+		}
+		t.Fatalf("trace roots = %v, want exactly [session]", names)
+	}
+
+	// Walk the tree checking the layering: stages sit directly under the
+	// session; rpc spans only under session (pre-stage prior calls) or
+	// phase spans; exec spans only under rpc spans; kernels under exec.
+	parentName := map[uint64]string{}
+	var stages, rpcs, execs, kernels int
+	tr.Walk(func(_ int, n *obs.TraceNode) {
+		for _, c := range n.Children {
+			parentName[c.ID] = n.Name
+		}
+	})
+	deepKernel := false
+	tr.Walk(func(depth int, n *obs.TraceNode) {
+		p := parentName[n.ID]
+		switch {
+		case n.Name == "stage":
+			stages++
+			if p != "session" {
+				t.Errorf("stage span parented by %q, want session", p)
+			}
+		case strings.HasPrefix(n.Name, "rpc:"):
+			rpcs++
+			switch p {
+			case "session", "select", "update", "classify":
+			default:
+				t.Errorf("%s parented by %q, want session or a phase span", n.Name, p)
+			}
+		case strings.HasPrefix(n.Name, "exec:"):
+			execs++
+			if !strings.HasPrefix(p, "rpc:") {
+				t.Errorf("%s parented by %q, want an rpc span", n.Name, p)
+			}
+		case n.Name == "kernel":
+			kernels++
+			if !strings.HasPrefix(p, "exec:") {
+				t.Errorf("kernel parented by %q, want an exec span", p)
+			}
+			if depth == 5 { // session → stage → phase → rpc → exec → kernel
+				deepKernel = true
+			}
+		}
+	})
+	if stages != res.Stages {
+		t.Errorf("trace holds %d stage spans, session ran %d stages", stages, res.Stages)
+	}
+	if rpcs == 0 || execs == 0 || kernels == 0 {
+		t.Errorf("span counts rpc=%d exec=%d kernel=%d, want all > 0", rpcs, execs, kernels)
+	}
+	if execs != rpcs {
+		t.Errorf("exec spans (%d) != rpc spans (%d): trailer lost spans", execs, rpcs)
+	}
+	if !deepKernel {
+		t.Error("no kernel span reached via session → stage → phase → rpc → exec")
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceNode is one span in an assembled trace tree.
+type TraceNode struct {
+	SpanRecord
+	Children []*TraceNode
+}
+
+// Trace is one assembled span tree: every recorded span sharing a trace
+// ID, linked parent to child. Spans whose parent was never recorded (or
+// arrived from a process whose parent span is still open) surface as
+// additional roots rather than being dropped, so a partial trace is still
+// inspectable.
+type Trace struct {
+	TraceID uint64
+	Roots   []*TraceNode
+}
+
+// Start returns the earliest span start in the trace (zero when empty).
+func (t *Trace) Start() time.Time {
+	var min time.Time
+	t.Walk(func(_ int, n *TraceNode) {
+		if min.IsZero() || n.SpanRecord.Start.Before(min) {
+			min = n.SpanRecord.Start
+		}
+	})
+	return min
+}
+
+// Walk visits every node depth-first, roots in start order, children in
+// start order, calling fn with the node's depth (0 for roots).
+func (t *Trace) Walk(fn func(depth int, n *TraceNode)) {
+	var rec func(depth int, n *TraceNode)
+	rec = func(depth int, n *TraceNode) {
+		fn(depth, n)
+		for _, c := range n.Children {
+			rec(depth+1, c)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(0, r)
+	}
+}
+
+// Spans returns the number of spans in the trace.
+func (t *Trace) Spans() int {
+	n := 0
+	t.Walk(func(int, *TraceNode) { n++ })
+	return n
+}
+
+// Find returns the first node (depth-first) whose name matches, or nil.
+func (t *Trace) Find(name string) *TraceNode {
+	var hit *TraceNode
+	t.Walk(func(_ int, n *TraceNode) {
+		if hit == nil && n.Name == name {
+			hit = n
+		}
+	})
+	return hit
+}
+
+// WriteText renders the trace as an indented tree, one span per line:
+//
+//	session 41.2ms
+//	  stage 12.1ms stage=1
+//	    rpc:prefix-scan 1.3ms executor=0
+//	      exec:prefix-scan 1.1ms
+//
+// for logs, CLIs, and the documentation walkthrough.
+func (t *Trace) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x (%d spans)\n", t.TraceID, t.Spans())
+	t.Walk(func(depth int, n *TraceNode) {
+		fmt.Fprintf(&b, "%s%s %s", strings.Repeat("  ", depth+1), n.Name, n.Duration.Round(time.Microsecond))
+		for _, a := range n.Attrs {
+			fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Assemble merges span sets — typically the driver tracer's buffer plus
+// the executor spans it absorbed, or span dumps scraped from several
+// /spans endpoints — into per-trace trees. Spans with a zero trace ID
+// (recorded before tracing was distributed, or by a nil-tracer span) are
+// grouped under trace 0. Traces are returned oldest first; duplicate span
+// IDs within a trace keep the first occurrence, so re-absorbing an
+// already-merged span set is harmless.
+func Assemble(sets ...[]SpanRecord) []*Trace {
+	byTrace := make(map[uint64]map[uint64]*TraceNode)
+	order := make(map[uint64][]*TraceNode) // insertion order per trace
+	traceIDs := []uint64{}
+	for _, set := range sets {
+		for _, rec := range set {
+			nodes := byTrace[rec.TraceID]
+			if nodes == nil {
+				nodes = make(map[uint64]*TraceNode)
+				byTrace[rec.TraceID] = nodes
+				traceIDs = append(traceIDs, rec.TraceID)
+			}
+			if _, dup := nodes[rec.ID]; dup && rec.ID != 0 {
+				continue
+			}
+			n := &TraceNode{SpanRecord: rec}
+			if rec.ID != 0 {
+				// ID-less records (from spans that never had a tracer) stay
+				// addressable as roots but cannot parent anything.
+				nodes[rec.ID] = n
+			}
+			order[rec.TraceID] = append(order[rec.TraceID], n)
+		}
+	}
+	out := make([]*Trace, 0, len(byTrace))
+	for _, traceID := range traceIDs {
+		nodes := byTrace[traceID]
+		tr := &Trace{TraceID: traceID}
+		for _, n := range order[traceID] {
+			if parent, ok := nodes[n.ParentID]; ok && n.ParentID != 0 && n.ParentID != n.ID {
+				parent.Children = append(parent.Children, n)
+			} else {
+				tr.Roots = append(tr.Roots, n)
+			}
+		}
+		for _, n := range nodes {
+			sortNodes(n.Children)
+		}
+		sortNodes(tr.Roots)
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Start(), out[j].Start()
+		if si.Equal(sj) {
+			return out[i].TraceID < out[j].TraceID
+		}
+		return si.Before(sj)
+	})
+	return out
+}
+
+// sortNodes orders siblings by start time, then ID for stability.
+func sortNodes(ns []*TraceNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].SpanRecord.Start.Equal(ns[j].SpanRecord.Start) {
+			return ns[i].ID < ns[j].ID
+		}
+		return ns[i].SpanRecord.Start.Before(ns[j].SpanRecord.Start)
+	})
+}

@@ -58,6 +58,7 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		Log:      log,
 		traceOut: f.TraceOut,
 	}
+	rt.Tracer.SetDropCounter(rt.Reg.Counter("sbgt_obs_spans_dropped_total"))
 	if f.MetricsAddr != "" {
 		rt.server, err = Serve(f.MetricsAddr, rt.Reg, rt.Tracer, rt.Log)
 		if err != nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -16,7 +17,8 @@ import (
 //	/metrics        Prometheus text exposition of the registry
 //	/metrics.json   JSON snapshot of the registry
 //	/healthz        liveness probe (200 "ok")
-//	/spans          JSON-lines dump of the tracer's buffered spans
+//	/spans          JSON {"dropped": n, "spans": [...]} of the tracer's
+//	                buffered spans plus its retention-bound eviction count
 //	/debug/pprof/*  net/http/pprof profiles
 //
 // reg and tracer may be nil; the corresponding endpoints then serve
@@ -57,8 +59,18 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 		}
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		if err := tracer.WriteJSON(w); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		spans, dropped := tracer.Snapshot()
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		payload := struct {
+			Dropped uint64       `json:"dropped"`
+			Spans   []SpanRecord `json:"spans"`
+		}{Dropped: dropped, Spans: spans}
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(payload); err != nil {
+			// The client hung up mid-write; nothing to recover.
 			return
 		}
 	})

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -40,7 +42,8 @@ func TestServeEndpoints(t *testing.T) {
 	if !strings.Contains(body, "sbgt_http_test_total 3") {
 		t.Errorf("/metrics missing counter:\n%s", body)
 	}
-	if !strings.Contains(ctype, "text/plain") {
+	// Prometheus scrapers negotiate on the exposition-format version.
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
 		t.Errorf("/metrics content type %q", ctype)
 	}
 
@@ -50,13 +53,29 @@ func TestServeEndpoints(t *testing.T) {
 	}
 
 	body, ctype = get("/metrics.json")
-	if !strings.Contains(body, `"sbgt_http_test_total"`) || !strings.Contains(ctype, "json") {
-		t.Errorf("/metrics.json = %q (%s)", body, ctype)
+	if !strings.Contains(body, `"sbgt_http_test_total"`) {
+		t.Errorf("/metrics.json = %q", body)
+	}
+	if ctype != "application/json" {
+		t.Errorf("/metrics.json content type %q", ctype)
 	}
 
-	body, _ = get("/spans")
-	if !strings.Contains(body, `"probe"`) {
+	body, ctype = get("/spans")
+	if !strings.Contains(body, `"probe"`) || !strings.Contains(body, `"dropped":0`) {
 		t.Errorf("/spans = %q", body)
+	}
+	if ctype != "application/json" {
+		t.Errorf("/spans content type %q", ctype)
+	}
+	var spansPayload struct {
+		Dropped uint64       `json:"dropped"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &spansPayload); err != nil {
+		t.Fatalf("/spans payload not JSON: %v", err)
+	}
+	if len(spansPayload.Spans) != 1 || spansPayload.Spans[0].Name != "probe" {
+		t.Errorf("/spans payload = %+v", spansPayload)
 	}
 
 	// pprof index must answer (it proves the mux wiring, not the profiler).
@@ -113,4 +132,58 @@ func TestCLILogger(t *testing.T) {
 	}
 	// The nop logger must swallow output silently.
 	OrNop(nil).Error("dropped")
+}
+
+// TestMuxConcurrentScrape is the race-gate test for the HTTP surface:
+// scraping /metrics and /spans while writers pound the registry and
+// tracer must be data-race-free and never return a failed request.
+func TestMuxConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	tracer := NewTracer(64)
+	tracer.SetDropCounter(reg.Counter("sbgt_obs_spans_dropped_total"))
+	srv, err := Serve("127.0.0.1:0", reg, tracer, NopLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const writers = 4
+	const scrapes = 25
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("sbgt_scrape_race_total", L("w", string(rune('a'+w))))
+			h := reg.Histogram("sbgt_scrape_race_seconds", nil)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+				tracer.Start("race-span", A("w", w)).End()
+			}
+		}(w)
+	}
+	for _, path := range []string{"/metrics", "/spans", "/metrics.json"} {
+		for i := 0; i < scrapes; i++ {
+			resp, err := http.Get("http://" + srv.Addr() + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				t.Fatalf("GET %s: read: %v", path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -111,13 +113,38 @@ func TestKindConflictPanics(t *testing.T) {
 }
 
 func TestInvalidNamePanics(t *testing.T) {
+	// Registration must fail fast on anything outside the Prometheus
+	// charset [a-zA-Z_:][a-zA-Z0-9_:]*, naming the offender.
+	mustPanic := func(want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("registering %q did not panic", want)
+				return
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not name the offender %q", msg, want)
+			}
+		}()
+		fn()
+	}
 	r := NewRegistry()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid metric name did not panic")
-		}
-	}()
-	r.Counter("bad name")
+	for _, bad := range []string{"", "bad name", "0leading", "dash-ed", "uni·code", "semi;colon"} {
+		bad := bad
+		mustPanic(fmt.Sprintf("%q", bad), func() { r.Counter(bad) })
+		mustPanic(fmt.Sprintf("%q", bad), func() { r.Gauge(bad) })
+		mustPanic(fmt.Sprintf("%q", bad), func() { r.Histogram(bad, nil) })
+		mustPanic(fmt.Sprintf("%q", bad), func() { r.GaugeFunc(bad, func() float64 { return 0 }) })
+	}
+	// Label keys share the charset; values are free-form.
+	mustPanic(`"bad key"`, func() { r.Counter("ok_metric", L("bad key", "v")) })
+	r.Counter("ok_metric", L("ok_key", "free form value ✓"))
+	// The valid charset registers cleanly, including leading underscore
+	// and colons (recording-rule style names).
+	for _, good := range []string{"a", "_hidden", "ns:sub:metric_total", "Xy9_"} {
+		r.Counter(good)
+	}
 }
 
 func TestGaugeFunc(t *testing.T) {

@@ -19,6 +19,7 @@ func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
 
 // SpanRecord is one finished span as the tracer stores and exports it.
 type SpanRecord struct {
+	TraceID  uint64        `json:"trace_id,omitempty"`
 	ID       uint64        `json:"id"`
 	ParentID uint64        `json:"parent_id,omitempty"`
 	Name     string        `json:"name"`
@@ -27,15 +28,28 @@ type SpanRecord struct {
 	Attrs    []Attr        `json:"attrs,omitempty"`
 }
 
+// Context returns the record's propagatable identity.
+func (r SpanRecord) Context() TraceContext {
+	return TraceContext{TraceID: r.TraceID, SpanID: r.ID}
+}
+
 // Tracer collects finished spans in a bounded buffer. When the buffer is
 // full the oldest spans are dropped (and counted), so a long-running
 // process keeps the most recent trace window. A nil *Tracer is valid:
 // spans started on it still measure time but record nowhere.
+//
+// Span and trace IDs are allocated from a per-tracer namespace seeded
+// with process entropy, so spans recorded by tracers in different
+// processes (driver and executors) can be merged into one trace without
+// ID collisions.
 type Tracer struct {
 	mu      sync.Mutex
-	spans   []SpanRecord
+	spans   []SpanRecord // ring storage; grows to limit, then wraps
+	head    int          // index of the oldest span once len(spans) == limit
 	limit   int
 	dropped uint64
+	drops   *Counter // optional exported drop counter; may be nil
+	seed    uint64
 	nextID  atomic.Uint64
 }
 
@@ -45,29 +59,99 @@ func NewTracer(limit int) *Tracer {
 	if limit <= 0 {
 		limit = 4096
 	}
-	return &Tracer{limit: limit}
+	return &Tracer{limit: limit, seed: idSeed()}
 }
 
-// Start opens a root span. The span measures from now until End; it is
-// recorded only if the tracer is non-nil.
+// SetDropCounter routes buffer evictions into an exported counter
+// (conventionally sbgt_obs_spans_dropped_total) in addition to the
+// tracer's own Dropped tally. A nil tracer or counter is a no-op.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.drops = c
+	t.mu.Unlock()
+}
+
+// newID allocates the next scattered span/trace ID (never zero).
+func (t *Tracer) newID() uint64 {
+	for {
+		if id := splitmix64(t.seed + t.nextID.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// Start opens a root span of a new trace. The span measures from now
+// until End; it is recorded only if the tracer is non-nil.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
 	s := &Span{tracer: t, name: name, start: time.Now(), attrs: attrs}
 	if t != nil {
-		s.id = t.nextID.Add(1)
+		s.id = t.newID()
+		s.trace = t.newID()
+	}
+	return s
+}
+
+// StartUnder opens a span as a child of an existing trace context —
+// typically one propagated from another process (the executor side of an
+// RPC) or from another subsystem's live span. An invalid parent context
+// degrades to Start: the span opens a fresh trace.
+func (t *Tracer) StartUnder(name string, parent TraceContext, attrs ...Attr) *Span {
+	s := t.Start(name, attrs...)
+	if parent.Valid() {
+		s.trace = parent.TraceID
+		s.parent = parent.SpanID
 	}
 	return s
 }
 
 // record appends one finished span, evicting the oldest on overflow.
+// The buffer is a ring: once full, each new span overwrites the oldest
+// in place, keeping the hot path O(1) regardless of the retention limit
+// (a copy-down here would move the whole window per span and dominates
+// the RPC tracing overhead).
 func (t *Tracer) record(rec SpanRecord) {
 	t.mu.Lock()
-	if len(t.spans) >= t.limit {
-		drop := len(t.spans) - t.limit + 1
-		t.dropped += uint64(drop)
-		t.spans = append(t.spans[:0], t.spans[drop:]...)
+	if len(t.spans) < t.limit {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.spans[t.head] = rec
+		t.head++
+		if t.head == len(t.spans) {
+			t.head = 0
+		}
+		t.dropped++
+		if t.drops != nil {
+			t.drops.Add(1)
+		}
 	}
-	t.spans = append(t.spans, rec)
 	t.mu.Unlock()
+}
+
+// linearize returns the buffered spans oldest-first as a fresh slice.
+// Callers must hold t.mu.
+func (t *Tracer) linearize() []SpanRecord {
+	if t.head == 0 {
+		return append([]SpanRecord(nil), t.spans...)
+	}
+	out := make([]SpanRecord, 0, len(t.spans))
+	out = append(out, t.spans[t.head:]...)
+	return append(out, t.spans[:t.head]...)
+}
+
+// Absorb records externally produced span records — the completed
+// executor spans shipped back in an RPC response trailer — into this
+// tracer's buffer, subject to the same retention bound. A nil tracer
+// discards them.
+func (t *Tracer) Absorb(recs ...SpanRecord) {
+	if t == nil {
+		return
+	}
+	for _, rec := range recs {
+		t.record(rec)
+	}
 }
 
 // Drain returns the finished spans in completion order and clears the
@@ -77,10 +161,24 @@ func (t *Tracer) Drain() []SpanRecord {
 		return nil
 	}
 	t.mu.Lock()
-	out := t.spans
+	out := t.linearize()
 	t.spans = nil
+	t.head = 0
 	t.mu.Unlock()
 	return out
+}
+
+// Snapshot returns a copy of the buffered spans without draining, plus
+// the eviction count — the /spans payload.
+func (t *Tracer) Snapshot() (spans []SpanRecord, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	spans = t.linearize()
+	dropped = t.dropped
+	t.mu.Unlock()
+	return spans, dropped
 }
 
 // Dropped reports how many spans were evicted by the buffer bound.
@@ -99,9 +197,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	spans := append([]SpanRecord(nil), t.spans...)
-	t.mu.Unlock()
+	spans, _ := t.Snapshot()
 	enc := json.NewEncoder(w)
 	for _, rec := range spans {
 		if err := enc.Encode(rec); err != nil {
@@ -119,16 +215,26 @@ type Span struct {
 	name   string
 	id     uint64
 	parent uint64
+	trace  uint64
 	start  time.Time
 	attrs  []Attr
 	ended  bool
+	rec    SpanRecord // the finished record, valid once ended
 }
 
-// Child opens a nested span under s, sharing its tracer.
+// Child opens a nested span under s, sharing its tracer and trace.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	c := s.tracer.Start(name, attrs...)
 	c.parent = s.id
+	c.trace = s.trace
 	return c
+}
+
+// Context returns the span's propagatable identity, for injection into
+// outgoing RPC frames. Spans started on a nil tracer return an invalid
+// context (they have no IDs), which receivers treat as "not traced".
+func (s *Span) Context() TraceContext {
+	return TraceContext{TraceID: s.trace, SpanID: s.id}
 }
 
 // SetAttr attaches an attribute to the span before it ends.
@@ -144,15 +250,23 @@ func (s *Span) End() time.Duration {
 		return d
 	}
 	s.ended = true
+	s.rec = SpanRecord{
+		TraceID:  s.trace,
+		ID:       s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: d,
+		Attrs:    s.attrs,
+	}
 	if s.tracer != nil {
-		s.tracer.record(SpanRecord{
-			ID:       s.id,
-			ParentID: s.parent,
-			Name:     s.name,
-			Start:    s.start,
-			Duration: d,
-			Attrs:    s.attrs,
-		})
+		s.tracer.record(s.rec)
 	}
 	return d
+}
+
+// Record returns the finished span record (for shipping across a process
+// boundary). ok is false until End has been called.
+func (s *Span) Record() (rec SpanRecord, ok bool) {
+	return s.rec, s.ended
 }

@@ -112,3 +112,100 @@ func TestTracerWriteJSON(t *testing.T) {
 		t.Fatalf("WriteJSON drained the tracer: %d left", got)
 	}
 }
+
+func TestSpanTraceIdentity(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("root")
+	child := root.Child("child")
+	if !root.Context().Valid() {
+		t.Fatal("root context invalid")
+	}
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child left the parent's trace")
+	}
+	if child.Context().SpanID == root.Context().SpanID {
+		t.Fatal("child shares the parent's span id")
+	}
+	other := tr.Start("other")
+	if other.Context().TraceID == root.Context().TraceID {
+		t.Fatal("independent roots share a trace id")
+	}
+	child.End()
+	root.End()
+	other.End()
+	for _, rec := range tr.Drain() {
+		if rec.TraceID == 0 || rec.ID == 0 {
+			t.Fatalf("record %q missing ids: %+v", rec.Name, rec)
+		}
+	}
+}
+
+func TestStartUnder(t *testing.T) {
+	parent := TraceContext{TraceID: 0xfeed, SpanID: 0xbeef}
+	tr := NewTracer(16)
+	s := tr.StartUnder("remote", parent)
+	if got := s.Context().TraceID; got != parent.TraceID {
+		t.Fatalf("StartUnder trace id %x, want %x", got, parent.TraceID)
+	}
+	s.End()
+	rec, ok := s.Record()
+	if !ok || rec.ParentID != parent.SpanID || rec.TraceID != parent.TraceID {
+		t.Fatalf("record = %+v, ok=%v", rec, ok)
+	}
+	// An invalid parent degrades to a fresh root trace.
+	fresh := tr.StartUnder("fresh", TraceContext{})
+	if fresh.Context().TraceID == 0 || fresh.parent != 0 {
+		t.Fatalf("invalid parent produced %+v", fresh.Context())
+	}
+	fresh.End()
+}
+
+func TestSpanRecordBeforeEnd(t *testing.T) {
+	tr := NewTracer(4)
+	s := tr.Start("open")
+	if _, ok := s.Record(); ok {
+		t.Fatal("unended span has a record")
+	}
+	s.End()
+	if rec, ok := s.Record(); !ok || rec.Name != "open" {
+		t.Fatalf("record = %+v, ok=%v", rec, ok)
+	}
+}
+
+func TestTracerAbsorbAndSnapshot(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Absorb(SpanRecord{ID: 1, Name: "a"}, SpanRecord{ID: 2, Name: "b"}, SpanRecord{ID: 3, Name: "c"})
+	spans, dropped := tr.Snapshot()
+	if len(spans) != 2 || dropped != 1 {
+		t.Fatalf("snapshot = %d spans, %d dropped; want 2, 1", len(spans), dropped)
+	}
+	if spans[0].Name != "b" || spans[1].Name != "c" {
+		t.Fatalf("retained %q, %q; want newest two", spans[0].Name, spans[1].Name)
+	}
+	// Snapshot does not drain.
+	if got := len(tr.Drain()); got != 2 {
+		t.Fatalf("drain after snapshot = %d", got)
+	}
+	var nilTracer *Tracer
+	nilTracer.Absorb(SpanRecord{ID: 9})
+	if s, d := nilTracer.Snapshot(); s != nil || d != 0 {
+		t.Fatal("nil tracer snapshot non-empty")
+	}
+}
+
+func TestTracerDropCounter(t *testing.T) {
+	tr := NewTracer(2)
+	c := new(Counter)
+	tr.SetDropCounter(c)
+	for i := 0; i < 5; i++ {
+		tr.Start("s").End()
+	}
+	if got := c.Value(); got != 3 {
+		t.Fatalf("drop counter = %d, want 3", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	var nilTracer *Tracer
+	nilTracer.SetDropCounter(c) // must not panic
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceContext is the serializable identity of a span: the trace it
+// belongs to and the span itself. It is what crosses process boundaries —
+// the driver encodes the active span's context into every outgoing RPC
+// frame, and executors open child spans under it, so one surveillance
+// stage yields a single trace spanning driver and executors.
+//
+// The zero value is "not traced"; Valid reports whether a context can be
+// propagated.
+type TraceContext struct {
+	TraceID uint64 `json:"trace_id"`
+	SpanID  uint64 `json:"span_id"`
+}
+
+// Valid reports whether the context identifies a live trace. W3C
+// semantics: an all-zero trace or span ID cannot be propagated.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 && tc.SpanID != 0 }
+
+// traceparentVersion is the only header version this repo emits or
+// accepts. The format is W3C trace-context shaped —
+// version-traceid-parentid-flags — with the 128-bit trace ID zero-padded
+// down to this package's 64-bit IDs.
+const traceparentVersion = "00"
+
+// traceparentLen is the fixed encoded length: 2+1+32+1+16+1+2.
+const traceparentLen = 55
+
+// Encode renders the context as a W3C-traceparent-style header value:
+//
+//	00-0000000000000000<16 hex trace>-<16 hex span>-01
+//
+// Encoding an invalid (zero) context yields a string that Parse rejects,
+// mirroring the W3C rule that all-zero IDs are not propagatable.
+func (tc TraceContext) Encode() string {
+	// Hand-rolled hex: this runs once per traced RPC, and fmt.Sprintf
+	// measurably widens the select-path tracing overhead.
+	var b [traceparentLen]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	for i := 3; i < 19; i++ {
+		b[i] = '0'
+	}
+	putHex64(b[19:35], tc.TraceID)
+	b[35] = '-'
+	putHex64(b[36:52], tc.SpanID)
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// putHex64 writes v as exactly 16 lowercase hex digits into dst.
+func putHex64(dst []byte, v uint64) {
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		dst[i] = digits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ParseTraceContext decodes an Encode'd context. It rejects anything it
+// could not have produced: wrong length or version, non-hex digits,
+// trace IDs above 64 bits, and the all-zero IDs W3C declares invalid.
+func ParseTraceContext(s string) (TraceContext, error) {
+	if len(s) != traceparentLen {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: length %d, want %d", s, len(s), traceparentLen)
+	}
+	if s[0:2] != traceparentVersion {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: unsupported version %q", s, s[0:2])
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: malformed separators", s)
+	}
+	hi, err := parseHex64(s[3:19])
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: trace id: %w", s, err)
+	}
+	if hi != 0 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: trace id exceeds 64 bits", s)
+	}
+	var tc TraceContext
+	if tc.TraceID, err = parseHex64(s[19:35]); err != nil {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: trace id: %w", s, err)
+	}
+	if tc.SpanID, err = parseHex64(s[36:52]); err != nil {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: span id: %w", s, err)
+	}
+	if s[53:55] != "01" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: unsupported flags %q", s, s[53:55])
+	}
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: all-zero id", s)
+	}
+	return tc, nil
+}
+
+// parseHex64 decodes exactly 16 lowercase hex digits.
+func parseHex64(s string) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, fmt.Errorf("invalid hex digit %q", c)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// turns a counter into a scattered 64-bit ID. Tracers in different
+// processes seed the counter differently, so span IDs do not collide when
+// driver and executor span sets are merged into one trace.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// idSeed derives a per-tracer ID namespace. Wall-clock entropy is enough:
+// IDs only need to be unique across the handful of processes that
+// contribute spans to one trace, and splitmix64 scatters the namespace so
+// sequentially allocated IDs from two seeds interleave without colliding.
+func idSeed() uint64 {
+	return splitmix64(uint64(time.Now().UnixNano()))
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	for _, tc := range []TraceContext{
+		{TraceID: 1, SpanID: 1},
+		{TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef},
+		{TraceID: ^uint64(0), SpanID: ^uint64(0)},
+	} {
+		enc := tc.Encode()
+		if len(enc) != traceparentLen {
+			t.Fatalf("Encode(%+v) length %d, want %d: %q", tc, len(enc), traceparentLen, enc)
+		}
+		got, err := ParseTraceContext(enc)
+		if err != nil {
+			t.Fatalf("Parse(Encode(%+v)) = %v", tc, err)
+		}
+		if got != tc {
+			t.Fatalf("round trip %+v -> %q -> %+v", tc, enc, got)
+		}
+	}
+}
+
+func TestTraceContextEncodeShape(t *testing.T) {
+	enc := TraceContext{TraceID: 0xab, SpanID: 0xcd}.Encode()
+	want := "00-000000000000000000000000000000ab-00000000000000cd-01"
+	if enc != want {
+		t.Fatalf("Encode = %q, want %q", enc, want)
+	}
+}
+
+func TestParseTraceContextRejects(t *testing.T) {
+	valid := TraceContext{TraceID: 7, SpanID: 9}.Encode()
+	for name, in := range map[string]string{
+		"empty":          "",
+		"short":          valid[:len(valid)-1],
+		"long":           valid + "0",
+		"bad version":    "01" + valid[2:],
+		"bad separator":  valid[:2] + "_" + valid[3:],
+		"uppercase hex":  strings.ToUpper(TraceContext{TraceID: 0xab, SpanID: 0xcd}.Encode()),
+		"high trace id":  "00-10000000000000000000000000000007-0000000000000009-01",
+		"zero trace id":  TraceContext{TraceID: 0, SpanID: 9}.Encode(),
+		"zero span id":   TraceContext{TraceID: 7, SpanID: 0}.Encode(),
+		"bad flags":      valid[:53] + "00",
+		"non hex digits": valid[:3] + "zz" + valid[5:],
+	} {
+		if _, err := ParseTraceContext(in); err == nil {
+			t.Errorf("%s: ParseTraceContext(%q) accepted", name, in)
+		}
+	}
+}
+
+func TestTraceContextValid(t *testing.T) {
+	if (TraceContext{}).Valid() {
+		t.Error("zero context reads valid")
+	}
+	if !(TraceContext{TraceID: 1, SpanID: 2}).Valid() {
+		t.Error("populated context reads invalid")
+	}
+}
+
+// FuzzTraceContextRoundTrip is the wire-encoding invariant: every context
+// this package can emit must parse back to itself, and any string the
+// parser accepts must re-encode to the identical bytes.
+func FuzzTraceContextRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(1))
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0x9e3779b97f4a7c15))
+	f.Fuzz(func(t *testing.T, trace, span uint64) {
+		tc := TraceContext{TraceID: trace, SpanID: span}
+		enc := tc.Encode()
+		got, err := ParseTraceContext(enc)
+		if !tc.Valid() {
+			if err == nil {
+				t.Fatalf("invalid context %+v encoded to parseable %q", tc, enc)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Parse(Encode(%+v)) = %v", tc, err)
+		}
+		if got != tc {
+			t.Fatalf("round trip %+v -> %q -> %+v", tc, enc, got)
+		}
+		if re := got.Encode(); re != enc {
+			t.Fatalf("re-encode %q != %q", re, enc)
+		}
+	})
+}
+
+// FuzzParseTraceContext feeds arbitrary strings to the parser: it must
+// never panic, and anything it accepts must survive a re-encode cycle.
+func FuzzParseTraceContext(f *testing.F) {
+	f.Add(TraceContext{TraceID: 3, SpanID: 5}.Encode())
+	f.Add("00-00000000000000000000000000000000-0000000000000000-01")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		tc, err := ParseTraceContext(in)
+		if err != nil {
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("parser accepted invalid context %+v from %q", tc, in)
+		}
+		if enc := tc.Encode(); enc != in {
+			t.Fatalf("accepted %q re-encodes to %q", in, enc)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/cluster"
 	"repro/internal/dilution"
+	"repro/internal/obs"
 )
 
 // Cluster adapts the distributed driver to the Model interface. The
@@ -27,6 +28,11 @@ func FromCluster(m *cluster.Model, stop func()) *Cluster {
 // Driver exposes the wrapped cluster model (executor counts, Ping,
 // Shutdown for deployment tooling).
 func (c *Cluster) Driver() *cluster.Model { return c.m }
+
+// SetTraceContext forwards a propagated trace context to the driver, so
+// subsequent RPCs emit spans under it — the trace-carrier capability the
+// session probes for (see cluster.Model.SetTraceContext).
+func (c *Cluster) SetTraceContext(tc obs.TraceContext) { c.m.SetTraceContext(tc) }
 
 // N returns the cohort size.
 func (c *Cluster) N() int { return c.m.N() }

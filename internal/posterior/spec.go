@@ -49,6 +49,12 @@ type Spec struct {
 	// latency, bytes on the wire, dial retries, and (for local executors)
 	// executor pool and shard series.
 	Obs *obs.Registry
+
+	// Tracer, when non-nil, records driver-side RPC spans (and the
+	// executor spans shipped back in response trailers) for the cluster
+	// backend. The other backends run in-process and are traced by the
+	// session's own spans.
+	Tracer *obs.Tracer
 }
 
 // Open builds the prior posterior for the spec. pool is used by the
@@ -82,6 +88,7 @@ func (s Spec) Open(pool *engine.Pool, risks []float64, resp dilution.Response) (
 			Timeout:  s.DialTimeout,
 			Attempts: s.DialAttempts,
 			Obs:      s.Obs,
+			Tracer:   s.Tracer,
 		})
 		if err != nil {
 			if stop != nil {

@@ -24,6 +24,23 @@ type Tracer = obs.Tracer
 // NewTracer creates a span collector.
 func NewTracer(limit int) *Tracer { return obs.NewTracer(limit) }
 
+// SpanRecord is one finished span as tracers store, export (/spans,
+// -trace-out NDJSON), and ship it across the cluster RPC boundary.
+type SpanRecord = obs.SpanRecord
+
+// Trace is an assembled span tree — one distributed trace merged from
+// the driver's buffer and any executor span sets. Walk, Find, and
+// WriteText navigate and render it.
+type Trace = obs.Trace
+
+// AssembleTraces merges span dumps — a driver tracer's Snapshot or
+// Drain, NDJSON rows from -trace-out, /spans scrapes from executors —
+// into per-trace trees, oldest first. Duplicate span IDs within a trace
+// are deduped, so overlapping dumps (executor spans appear both in the
+// driver's absorbed buffer and on the executor's own /spans) merge
+// cleanly.
+func AssembleTraces(sets ...[]SpanRecord) []*Trace { return obs.Assemble(sets...) }
+
 // Instrument attaches the engine's worker pool to a registry (see
 // internal/obs): task counts, queue depth, in-flight gauge, task-time
 // and submit-wait histograms under sbgt_engine_pool_*.
@@ -34,4 +51,13 @@ func (e *Engine) Instrument(reg *Metrics) { e.pool.Instrument(reg) }
 // protocol warnings routed to log (nil discards).
 func ServeExecutorObs(addr string, workers int, reg *Metrics, log *slog.Logger) error {
 	return cluster.ListenAndServeObs(addr, workers, reg, log)
+}
+
+// ServeExecutorTraced is ServeExecutorObs with the executor's dispatch
+// spans additionally recorded into tracer — pass the tracer behind the
+// process's /spans endpoint so the executor side of every distributed
+// trace is scrapeable in place (spans also ship back to the driver in
+// response trailers regardless).
+func ServeExecutorTraced(addr string, workers int, reg *Metrics, tracer *Tracer, log *slog.Logger) error {
+	return cluster.ListenAndServeTraced(addr, workers, reg, tracer, log)
 }

@@ -24,5 +24,11 @@ go test -race -short ./internal/engine ./internal/cluster ./internal/bench ./int
 echo '== fuzz smoke (10s each) =='
 go test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
 go test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fuzztime 10s
+go test ./internal/obs -run FuzzTraceContextRoundTrip -fuzz FuzzTraceContextRoundTrip -fuzztime 10s
+
+echo '== bench smoke (quick, vs committed baseline, 5x bound) =='
+go run ./cmd/sbgt-bench -exp T1,F6 -quick -baseline BENCH_new.json > /dev/null
+go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_0.json BENCH_new.json
+rm -f BENCH_new.json
 
 echo 'CI gate passed.'
