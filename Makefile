@@ -11,10 +11,13 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Repo-invariant static analysis (determinism, concurrency, floats,
-# errcheck). Exits non-zero on any diagnostic.
+# Repo-invariant static analysis (nine analyzers; `sbgt-lint -list`
+# describes them). -audit also fails on stale //lint:allow waivers, and
+# the second pass fails on stale entries in lint-baseline.json. Exits
+# non-zero on any fresh diagnostic.
 lint:
-	$(GO) run ./cmd/sbgt-lint ./...
+	$(GO) run ./cmd/sbgt-lint -audit ./...
+	$(GO) run ./cmd/sbgt-lint -baseline-check ./...
 
 # Race-detector pass over the packages that own goroutines, plus the
 # backend conformance suite (which drives the cluster backend end to end
@@ -22,10 +25,12 @@ lint:
 race:
 	$(GO) test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core ./internal/obs
 
-# Short fuzz smoke over the numeric-kernel invariants.
+# Short fuzz smoke over the numeric-kernel and lint-input invariants.
 fuzz:
 	$(GO) test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
 	$(GO) test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fuzztime 10s
+	$(GO) test ./internal/analysis -run xxx -fuzz FuzzAllowParser -fuzztime 10s
+	$(GO) test ./internal/analysis -run xxx -fuzz FuzzBaselineReader -fuzztime 10s
 
 # Perf-regression harness (the BENCH trajectory). BENCH_EXPS picks the
 # experiments, BENCH_RATIO the slowdown bound sbgt-benchdiff applies.

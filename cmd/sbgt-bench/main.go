@@ -129,7 +129,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sbgt-bench:", err)
 		os.Exit(2)
 	}
-	defer rt.Close() //lint:allow errcheck best-effort teardown of the metrics server on exit
+	defer rt.Close()
 
 	exps := registry()
 	if *list {

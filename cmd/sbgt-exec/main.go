@@ -40,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sbgt-exec:", err)
 		os.Exit(2)
 	}
-	defer rt.Close() //lint:allow errcheck best-effort teardown of the metrics server on exit
+	defer rt.Close()
 
 	if err := sbgt.ServeExecutorTraced(*listen, *workers, rt.Reg, rt.Tracer, rt.Log); err != nil {
 		rt.Fatal(err)

@@ -11,11 +11,20 @@
 //
 // Flags:
 //
-//	-list        print the analyzers and their invariants, then exit
-//	-run a,b     run only the named analyzers
-//	-log-level   debug | info | warn | error (default info)
+//	-list            print the analyzers and their invariants, then exit
+//	-run a,b         run only the named analyzers
+//	-format f        text | json | sarif (default text)
+//	-baseline path   waiver ledger to apply ("none" disables; default
+//	                 lint-baseline.json at the module root when present)
+//	-write-baseline  rewrite the ledger from this run's findings and exit
+//	-baseline-check  also fail on stale ledger entries (fixed findings
+//	                 whose entries must be deleted)
+//	-audit           also fail on stale //lint:allow waivers; forces the
+//	                 full suite so every waiver can be exercised
+//	-log-level       debug | info | warn | error (default info)
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+// Exit status: 0 clean, 1 diagnostics (or stale entries/waivers under
+// -baseline-check/-audit) reported, 2 usage or load failure.
 // Intentional exceptions are annotated in source as
 // "//lint:allow <analyzer> <reason>"; see internal/analysis.
 package main
@@ -34,6 +43,11 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	format := flag.String("format", "text", "output format: text | json | sarif")
+	baselinePath := flag.String("baseline", "", `baseline ledger path ("none" disables; default lint-baseline.json at the module root when present)`)
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline ledger from this run's findings and exit")
+	baselineCheck := flag.Bool("baseline-check", false, "fail on stale baseline entries too")
+	audit := flag.Bool("audit", false, "fail on stale lint:allow waivers too (forces the full suite)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 	flag.Parse()
 
@@ -45,13 +59,25 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		logg.Error("unknown format (want text, json, or sarif)", "format", *format)
+		os.Exit(2)
 	}
 
 	analyzers := analysis.All()
 	if *runNames != "" {
+		if *audit {
+			// A waiver for an excluded analyzer would always read as stale;
+			// auditing is only sound over the full suite.
+			logg.Error("-audit cannot be combined with -run: stale-waiver detection needs the full suite")
+			os.Exit(2)
+		}
 		var unknown string
 		analyzers, unknown = analysis.ByName(strings.Split(*runNames, ","))
 		if unknown != "" {
@@ -78,17 +104,102 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
-		}
-		fmt.Println(d)
+	diags, staleWaivers := analysis.RunAudit(pkgs, analyzers)
+	// Module-relative paths everywhere downstream: output, the baseline
+	// ledger, and SARIF artifact locations all want stable URIs.
+	for i := range diags {
+		diags[i].Pos.Filename = relTo(root, diags[i].Pos.Filename)
 	}
-	if len(diags) > 0 {
-		logg.Error("diagnostics reported", "count", len(diags))
+	for i := range staleWaivers {
+		staleWaivers[i].Pos.Filename = relTo(root, staleWaivers[i].Pos.Filename)
+	}
+
+	ledgerPath := *baselinePath
+	switch ledgerPath {
+	case "":
+		p := filepath.Join(root, "lint-baseline.json")
+		if _, err := os.Stat(p); err == nil {
+			ledgerPath = p
+		}
+	case "none":
+		ledgerPath = ""
+	}
+
+	if *writeBaseline {
+		if ledgerPath == "" {
+			ledgerPath = filepath.Join(root, "lint-baseline.json")
+		}
+		data, err := analysis.NewBaseline(diags).Marshal()
+		if err != nil {
+			logg.Error(err.Error())
+			os.Exit(2)
+		}
+		if err := os.WriteFile(ledgerPath, data, 0o644); err != nil {
+			logg.Error(err.Error())
+			os.Exit(2)
+		}
+		logg.Info("baseline written", "path", ledgerPath, "findings", len(diags))
+		return
+	}
+
+	var staleEntries []analysis.BaselineEntry
+	if ledgerPath != "" {
+		data, err := os.ReadFile(ledgerPath)
+		if err != nil {
+			logg.Error(err.Error())
+			os.Exit(2)
+		}
+		ledger, err := analysis.ReadBaseline(data)
+		if err != nil {
+			logg.Error(err.Error())
+			os.Exit(2)
+		}
+		diags, staleEntries = ledger.Apply(diags)
+	}
+
+	report := diags
+	if *audit {
+		report = append(report, staleWaivers...)
+	}
+
+	switch *format {
+	case "json":
+		err = analysis.WriteJSON(os.Stdout, report)
+	case "sarif":
+		err = analysis.WriteSARIF(os.Stdout, report, analyzers)
+	default:
+		for _, d := range report {
+			fmt.Println(d)
+		}
+	}
+	if err != nil {
+		logg.Error(err.Error())
+		os.Exit(2)
+	}
+
+	failed := false
+	if len(report) > 0 {
+		logg.Error("diagnostics reported", "count", len(report))
+		failed = true
+	}
+	if *baselineCheck && len(staleEntries) > 0 {
+		for _, e := range staleEntries {
+			fmt.Fprintf(os.Stderr, "stale baseline entry: %d x [%s] %s: %s\n", e.Count, e.Analyzer, e.File, e.Message)
+		}
+		logg.Error("stale baseline entries: the findings were fixed, delete their ledger entries", "count", len(staleEntries))
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// relTo rewrites path relative to root when possible.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

@@ -68,7 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sbgt:", err)
 		os.Exit(2)
 	}
-	defer rt.Close() //lint:allow errcheck best-effort teardown of the metrics server on exit
+	defer rt.Close()
 
 	r := sbgt.NewRand(*seed)
 	risks, err := makeRisks(*profile, *n, *prev, r)

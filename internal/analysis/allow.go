@@ -1,6 +1,10 @@
 package analysis
 
-import "strings"
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
 
 // The allowlist mechanism: a source comment of the form
 //
@@ -12,46 +16,94 @@ import "strings"
 // allow without one is reported by the pseudo-analyzer "allow" — so every
 // suppression in the tree documents why the invariant is intentionally
 // bent at that site.
+//
+// Every allow is additionally audit-tracked: RunAudit reports waivers
+// that suppressed nothing, so fixed code sheds its stale annotations
+// instead of accumulating silent holes in the invariants.
 
 const allowPrefix = "//lint:allow"
 
-// allowIndex maps file:line to the analyzer names allowed there.
-type allowIndex map[allowKey]map[string]bool
+// parseAllow splits one comment's text into its analyzer name and reason.
+// ok is false when the comment is not an allow at all — including when the
+// prefix runs straight into other characters ("//lint:allowx"), which is
+// some other token, not a waiver. A true ok with an empty name or reason
+// is a malformed allow. Fields split on any whitespace, so tabs and
+// stray control characters never leak into the analyzer name.
+func parseAllow(text string) (name, reason string, ok bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// allowRecord is one well-formed //lint:allow comment.
+type allowRecord struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// allowIndex maps file:line to the allow records effective there.
+type allowIndex struct {
+	byLine  map[allowKey][]*allowRecord
+	records []*allowRecord
+}
 
 type allowKey struct {
 	file string
 	line int
 }
 
-func (idx allowIndex) allowed(d Diagnostic) bool {
-	set := idx[allowKey{d.Pos.Filename, d.Pos.Line}]
-	return set != nil && set[d.Analyzer]
+func (idx *allowIndex) allowed(d Diagnostic) bool {
+	hit := false
+	for _, rec := range idx.byLine[allowKey{d.Pos.Filename, d.Pos.Line}] {
+		if rec.analyzer == d.Analyzer {
+			rec.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
-func (idx allowIndex) add(file string, line int, analyzer string) {
-	k := allowKey{file, line}
-	if idx[k] == nil {
-		idx[k] = make(map[string]bool)
+// stale returns one diagnostic per allow that suppressed nothing.
+func (idx *allowIndex) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, rec := range idx.records {
+		if !rec.used {
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      rec.pos,
+				Message: fmt.Sprintf("stale lint:allow: no %s diagnostic is suppressed here; remove the waiver",
+					rec.analyzer),
+			})
+		}
 	}
-	idx[k][analyzer] = true
+	return out
 }
 
 // collectAllows scans a package's comments for lint:allow annotations,
 // returning the suppression index and diagnostics for malformed
 // annotations (missing analyzer name or missing reason).
-func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
-	idx := make(allowIndex)
+func collectAllows(pkg *Package) (*allowIndex, []Diagnostic) {
+	idx := &allowIndex{byLine: make(map[allowKey][]*allowRecord)}
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
+				name, reason, ok := parseAllow(c.Text)
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
-				name, reason, _ := strings.Cut(rest, " ")
-				if name == "" || strings.TrimSpace(reason) == "" {
+				if name == "" || reason == "" {
 					diags = append(diags, Diagnostic{
 						Analyzer: "allow",
 						Pos:      pos,
@@ -59,8 +111,11 @@ func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
 					})
 					continue
 				}
-				idx.add(pos.Filename, pos.Line, name)
-				idx.add(pos.Filename, pos.Line+1, name)
+				rec := &allowRecord{pos: pos, analyzer: name}
+				idx.records = append(idx.records, rec)
+				for _, k := range []allowKey{{pos.Filename, pos.Line}, {pos.Filename, pos.Line + 1}} {
+					idx.byLine[k] = append(idx.byLine[k], rec)
+				}
 			}
 		}
 	}

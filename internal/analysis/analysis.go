@@ -62,7 +62,62 @@ type Pass struct {
 	Pkg     *types.Package
 	Info    *types.Info
 
+	flow *flowCache
 	sink *[]Diagnostic
+}
+
+// flowCache shares the expensive flow structures — the module-wide call
+// graph, per-function CFGs, and analyzer summaries — across every
+// (package, analyzer) pass of one Run.
+type flowCache struct {
+	pkgs []*Package
+	cg   *CallGraph
+	cfgs map[ast.Node]*CFG
+	// memo holds analyzer-owned module-wide computations (e.g. the
+	// blocks-forever summary), keyed by analyzer name.
+	memo map[string]any
+}
+
+func newFlowCache(pkgs []*Package) *flowCache {
+	return &flowCache{pkgs: pkgs, cfgs: make(map[ast.Node]*CFG), memo: make(map[string]any)}
+}
+
+func (f *flowCache) callGraph() *CallGraph {
+	if f.cg == nil {
+		f.cg = BuildCallGraph(f.pkgs)
+	}
+	return f.cg
+}
+
+func (f *flowCache) cfg(n *CGNode) *CFG {
+	if n == nil || n.Fn == nil {
+		return nil
+	}
+	c, ok := f.cfgs[n.Fn]
+	if !ok {
+		c = BuildCFG(n.Fn, n.Name)
+		f.cfgs[n.Fn] = c
+	}
+	return c
+}
+
+// CallGraph returns the call graph over every package of this run (the
+// whole module under cmd/sbgt-lint; the single loaded package in tests).
+func (p *Pass) CallGraph() *CallGraph { return p.flow.callGraph() }
+
+// CFGOf returns the (cached) control-flow graph of a call-graph node.
+func (p *Pass) CFGOf(n *CGNode) *CFG { return p.flow.cfg(n) }
+
+// Memo returns the analyzer's module-wide scratch value, creating it with
+// build on first use. Analyzers use it to compute interprocedural
+// summaries once instead of once per package.
+func (p *Pass) Memo(build func() any) any {
+	v, ok := p.flow.memo[p.Analyzer.Name]
+	if !ok {
+		v = build()
+		p.flow.memo[p.Analyzer.Name] = v
+	}
+	return v
 }
 
 // Reportf records a diagnostic at pos.
@@ -128,7 +183,22 @@ func pathHasSuffix(path, suffix string) bool {
 // Run executes every analyzer over every package, applies the per-file
 // allowlists, and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	diags, _ := run(pkgs, analyzers)
+	return diags
+}
+
+// RunAudit is Run plus the waiver audit: the second slice holds one
+// diagnostic (analyzer "allow") per //lint:allow comment that suppressed
+// nothing in this run. Auditing is only meaningful when every analyzer
+// runs — a waiver for an analyzer excluded from the run is reported as
+// stale, which is exactly the CI-facing behavior (-audit forces the full
+// suite in cmd/sbgt-lint).
+func RunAudit(pkgs []*Package, analyzers []*Analyzer) (diags, stale []Diagnostic) {
+	return run(pkgs, analyzers)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer) (out, stale []Diagnostic) {
+	flow := newFlowCache(pkgs)
 	for _, pkg := range pkgs {
 		allows, allowDiags := collectAllows(pkg)
 		out = append(out, allowDiags...)
@@ -141,6 +211,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				flow:     flow,
 				sink:     &raw,
 			}
 			a.Run(pass)
@@ -150,7 +221,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				out = append(out, d)
 			}
 		}
+		stale = append(stale, allows.stale()...)
 	}
+	sortDiagnostics(out)
+	sortDiagnostics(stale)
+	return out, stale
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -164,5 +242,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Baseline is the committed ledger of waived pre-existing findings:
+// diagnostics matching an entry do not gate CI, while anything new does.
+// Entries are keyed by (analyzer, file, message) with an occurrence
+// count — deliberately no line numbers, so unrelated edits to a file do
+// not churn the ledger. When a baselined finding is fixed, the entry goes
+// stale and `sbgt-lint -baseline-check` fails until it is removed: the
+// ledger only ever shrinks.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry waives Count occurrences of one diagnostic shape.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineVersion is the schema version this package writes and accepts.
+const baselineVersion = 1
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// ReadBaseline parses a baseline document, rejecting malformed input with
+// an error (never a panic — the parser is fuzzed against hostile bytes).
+func ReadBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline: unsupported version %d (want %d)", b.Version, baselineVersion)
+	}
+	seen := map[string]bool{}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("baseline: entry %d is missing analyzer, file, or message", i)
+		}
+		if e.Count < 1 {
+			return nil, fmt.Errorf("baseline: entry %d has count %d (want >= 1)", i, e.Count)
+		}
+		key := baselineKey(e.Analyzer, e.File, e.Message)
+		if seen[key] {
+			return nil, fmt.Errorf("baseline: duplicate entry for %s %s", e.Analyzer, e.File)
+		}
+		seen[key] = true
+	}
+	return &b, nil
+}
+
+// NewBaseline builds the ledger that waives exactly the given
+// diagnostics, in deterministic order.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, d.Pos.Filename, d.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{Analyzer: d.Analyzer, File: d.Pos.Filename, Message: d.Message, Count: 1}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	b := &Baseline{Version: baselineVersion}
+	for _, key := range order {
+		b.Entries = append(b.Entries, *counts[key])
+	}
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	return b
+}
+
+// Marshal renders the baseline as committed JSON.
+func (b *Baseline) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Apply splits a run's diagnostics against the ledger: fresh findings
+// (not covered, these gate CI) and stale entries (waiving more than the
+// run produced — the finding was fixed, so the entry must be deleted).
+// When a file yields more occurrences of a shape than its entry waives,
+// the later ones (by position) are fresh.
+func (b *Baseline) Apply(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] = e.Count
+	}
+	used := map[string]int{}
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, d.Pos.Filename, d.Message)
+		if used[key] < budget[key] {
+			used[key]++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		key := baselineKey(e.Analyzer, e.File, e.Message)
+		if used[key] < e.Count {
+			leftover := e
+			leftover.Count = e.Count - used[key]
+			stale = append(stale, leftover)
+		}
+	}
+	return fresh, stale
+}

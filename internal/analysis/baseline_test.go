@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func diagAt(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line, Column: 1}, Message: msg}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		diagAt("deadline", "a.go", 10, "read without a deadline"),
+		diagAt("deadline", "a.go", 20, "read without a deadline"),
+		diagAt("ctxflow", "b.go", 5, "ctx dropped"),
+	}
+	b := NewBaseline(diags)
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %+v", b.Entries)
+	}
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := back.Apply(diags)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round-tripped baseline must waive its own findings exactly: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+// TestBaselineLineChurn is the design property: moving a finding within
+// its file (unrelated edits shifting line numbers) does not un-waive it.
+func TestBaselineLineChurn(t *testing.T) {
+	b := NewBaseline([]Diagnostic{diagAt("deadline", "a.go", 10, "read without a deadline")})
+	fresh, stale := b.Apply([]Diagnostic{diagAt("deadline", "a.go", 99, "read without a deadline")})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("line churn must not matter: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestBaselineFreshAndStale(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		diagAt("deadline", "a.go", 10, "read without a deadline"),
+		diagAt("deadline", "a.go", 20, "read without a deadline"),
+		diagAt("ctxflow", "b.go", 5, "ctx dropped"),
+	})
+	// One deadline occurrence fixed (stale count 1), ctxflow fixed
+	// entirely (stale), and a brand-new finding appears (fresh).
+	run := []Diagnostic{
+		diagAt("deadline", "a.go", 10, "read without a deadline"),
+		diagAt("goroutineleak", "c.go", 7, "goroutine may block forever"),
+	}
+	fresh, stale := b.Apply(run)
+	if len(fresh) != 1 || fresh[0].Analyzer != "goroutineleak" {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v", stale)
+	}
+	for _, e := range stale {
+		switch e.Analyzer {
+		case "deadline":
+			if e.Count != 1 {
+				t.Errorf("deadline stale count = %d, want 1", e.Count)
+			}
+		case "ctxflow":
+			if e.Count != 1 {
+				t.Errorf("ctxflow stale count = %d, want 1", e.Count)
+			}
+		default:
+			t.Errorf("unexpected stale entry %+v", e)
+		}
+	}
+}
+
+func TestBaselineOverflowIsFresh(t *testing.T) {
+	b := NewBaseline([]Diagnostic{diagAt("deadline", "a.go", 10, "m")})
+	fresh, stale := b.Apply([]Diagnostic{
+		diagAt("deadline", "a.go", 10, "m"),
+		diagAt("deadline", "a.go", 30, "m"),
+	})
+	if len(fresh) != 1 || fresh[0].Pos.Line != 30 {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v", stale)
+	}
+}
+
+func TestReadBaselineRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":          `{"version": 1,`,
+		"wrong version":     `{"version": 9, "entries": []}`,
+		"missing analyzer":  `{"version": 1, "entries": [{"file": "a.go", "message": "m", "count": 1}]}`,
+		"zero count":        `{"version": 1, "entries": [{"analyzer": "deadline", "file": "a.go", "message": "m", "count": 0}]}`,
+		"duplicate entries": `{"version": 1, "entries": [{"analyzer": "d", "file": "a.go", "message": "m", "count": 1}, {"analyzer": "d", "file": "a.go", "message": "m", "count": 2}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadBaseline([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted %s", name, doc)
+		}
+	}
+}
+
+func TestBaselineMarshalDeterministic(t *testing.T) {
+	diags := []Diagnostic{
+		diagAt("floats", "z.go", 1, "zz"),
+		diagAt("deadline", "a.go", 2, "aa"),
+	}
+	a, err := NewBaseline(diags).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBaseline([]Diagnostic{diags[1], diags[0]}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("order-dependent marshal:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.HasSuffix(string(a), "\n") {
+		t.Fatal("marshal must end with a newline for committed-file hygiene")
+	}
+}

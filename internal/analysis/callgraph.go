@@ -1,0 +1,278 @@
+package analysis
+
+// The module-wide call graph: every function declaration and function
+// literal becomes a node; edges are the statically resolvable calls
+// (direct calls, method calls, and immediately invoked literals) plus
+// "reference" edges for method values and function values passed around
+// (a conservative may-call). Dynamic calls through interface methods or
+// arbitrary function variables stay unresolved — the analyzers built on
+// top treat an unresolved call as "unknown", never as "safe".
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CGNode is one function in the call graph.
+type CGNode struct {
+	// Name is the stable diagnostic name: (*pkg.Type).Method or pkg.Func
+	// for declarations, parent$n for the n-th function literal inside
+	// parent (in source order, 1-based).
+	Name string
+	// Fn is the *ast.FuncDecl or *ast.FuncLit. Nil only for the synthetic
+	// root of externally defined functions (not stored in the graph).
+	Fn ast.Node
+	// Obj is the declared *types.Func (nil for literals).
+	Obj *types.Func
+	// Pkg is the package the function's body lives in.
+	Pkg *Package
+
+	// Calls are the statically resolved outgoing edges, in source order.
+	Calls []CGEdge
+	// callers is filled in by finish.
+	callers []*CGNode
+}
+
+// CGEdge is one resolved call (or may-call reference) site.
+type CGEdge struct {
+	Callee *CGNode
+	// Site is the *ast.CallExpr for calls, or the referencing expression
+	// for method/function values.
+	Site ast.Node
+	Pos  token.Pos
+	// Ref marks a may-call reference (a function or method value captured
+	// rather than invoked at this site).
+	Ref bool
+}
+
+// CallGraph indexes every module function.
+type CallGraph struct {
+	// nodes keyed by the declared object for FuncDecls and by the
+	// *ast.FuncLit node for literals.
+	byObj map[*types.Func]*CGNode
+	byLit map[*ast.FuncLit]*CGNode
+	// Nodes in deterministic (package, source) order.
+	Nodes []*CGNode
+}
+
+// NodeFor returns the graph node for a declared function object, or nil.
+func (g *CallGraph) NodeFor(obj *types.Func) *CGNode { return g.byObj[obj] }
+
+// NodeForLit returns the graph node for a function literal, or nil.
+func (g *CallGraph) NodeForLit(lit *ast.FuncLit) *CGNode { return g.byLit[lit] }
+
+// Callers returns the nodes with a (call or reference) edge into n.
+func (g *CallGraph) Callers(n *CGNode) []*CGNode { return n.callers }
+
+// BuildCallGraph constructs the call graph over the given packages
+// (typically the whole module; golden tests pass a single package).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		byObj: make(map[*types.Func]*CGNode),
+		byLit: make(map[*ast.FuncLit]*CGNode),
+	}
+	// Pass 1: create nodes for every function declaration and literal.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				name := declName(pkg, fd, obj)
+				node := &CGNode{Name: name, Fn: fd, Obj: obj, Pkg: pkg}
+				if obj != nil {
+					g.byObj[obj] = node
+				}
+				g.Nodes = append(g.Nodes, node)
+				litCount := 0
+				collectLits(fd.Body, func(lit *ast.FuncLit) {
+					litCount++
+					ln := &CGNode{Name: fmt.Sprintf("%s$%d", name, litCount), Fn: lit, Pkg: pkg}
+					g.byLit[lit] = ln
+					g.Nodes = append(g.Nodes, ln)
+				})
+			}
+		}
+	}
+	// Package-scope function literals (var x = func(){...}) are rare and
+	// skipped: none exist in this module, and their calls are dynamic.
+
+	// Pass 2: resolve edges from each node's body.
+	for _, node := range g.Nodes {
+		g.resolveEdges(node)
+	}
+	for _, node := range g.Nodes {
+		for _, e := range node.Calls {
+			e.Callee.callers = append(e.Callee.callers, node)
+		}
+	}
+	return g
+}
+
+// declName renders the diagnostic name of a declared function with the
+// module prefix trimmed: "engine.NewPool", "(*engine.Pool).Close".
+func declName(pkg *Package, fd *ast.FuncDecl, obj *types.Func) string {
+	if obj != nil {
+		return trimModule(obj.FullName())
+	}
+	return pkg.Path + "." + fd.Name.Name
+}
+
+// trimModule shortens fully qualified names for diagnostics: import paths
+// keep only their last segment ("repro/internal/engine.NewPool" →
+// "engine.NewPool").
+func trimModule(full string) string {
+	shorten := func(path string) string {
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	if strings.HasPrefix(full, "(") {
+		// "(*repro/internal/engine.Pool).Close" or "(repro/....T).M"
+		end := strings.Index(full, ")")
+		if end > 0 {
+			inner := full[1:end]
+			star := ""
+			if strings.HasPrefix(inner, "*") {
+				star = "*"
+				inner = inner[1:]
+			}
+			return "(" + star + shorten(inner) + ")" + full[end+1:]
+		}
+	}
+	return shorten(full)
+}
+
+// collectLits calls fn for every function literal under root in source
+// order, including literals nested inside other literals.
+func collectLits(root ast.Node, fn func(*ast.FuncLit)) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fn(lit)
+		}
+		return true
+	})
+}
+
+// resolveEdges walks one function body (not descending into nested
+// literals — those are their own nodes) and records resolvable edges.
+func (g *CallGraph) resolveEdges(node *CGNode) {
+	var body *ast.BlockStmt
+	switch fn := node.Fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+	info := node.Pkg.Info
+	// Pre-mark identifiers in call position so the Ident case below can
+	// tell `f(x)` (call edge, owned by the CallExpr case) from `g(f)`
+	// (reference edge).
+	calleePos := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id := calleeIdent(call); id != nil {
+				calleePos[id] = true
+			}
+		}
+		return true
+	})
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's occurrence is a reference edge from its parent
+			// (it may run later); its body belongs to its own node.
+			if callee := g.byLit[n]; callee != nil {
+				node.Calls = append(node.Calls, CGEdge{Callee: callee, Site: n, Pos: n.Pos(), Ref: true})
+			}
+			return false
+		case *ast.CallExpr:
+			// Direct invocation: f(...), x.m(...), func(){...}(...).
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				if callee := g.byLit[lit]; callee != nil {
+					node.Calls = append(node.Calls, CGEdge{Callee: callee, Site: n, Pos: n.Pos()})
+				}
+				// The literal body belongs to its own node; walk only the
+				// arguments (the FuncLit case would record a spurious
+				// reference edge on top of the call edge above).
+				for _, a := range n.Args {
+					ast.Inspect(a, walk)
+				}
+				return false
+			}
+			if id := calleeIdent(n); id != nil {
+				if obj, ok := info.Uses[id].(*types.Func); ok {
+					if callee := g.byObj[obj]; callee != nil {
+						node.Calls = append(node.Calls, CGEdge{Callee: callee, Site: n, Pos: n.Pos()})
+					}
+				}
+			}
+			return true
+		case *ast.Ident:
+			// A bare reference to a module function or a method value
+			// (passed around to be called later).
+			if !calleePos[n] {
+				if obj, ok := info.Uses[n].(*types.Func); ok {
+					if callee := g.byObj[obj]; callee != nil {
+						node.Calls = append(node.Calls, CGEdge{Callee: callee, Site: n, Pos: n.Pos(), Ref: true})
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// calleeIdent extracts the identifier a call resolves through.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn
+	case *ast.SelectorExpr:
+		return fn.Sel
+	}
+	return nil
+}
+
+// Dump renders the graph for the golden tests: one line per node with
+// its sorted outgoing edges ("ref:" prefix for reference edges).
+func (g *CallGraph) Dump() string {
+	var sb strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "%s\n", n.Name)
+		edges := make([]string, 0, len(n.Calls))
+		for _, e := range n.Calls {
+			s := e.Callee.Name
+			if e.Ref {
+				s = "ref:" + s
+			}
+			edges = append(edges, s)
+		}
+		sort.Strings(edges)
+		// Dedup repeated edges to the same callee for dump stability.
+		prev := ""
+		for _, e := range edges {
+			if e == prev {
+				continue
+			}
+			prev = e
+			fmt.Fprintf(&sb, "  -> %s\n", e)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,747 @@
+package analysis
+
+// The control-flow graph builder: the flow-sensitive half of the
+// framework. Each function body (declaration or literal) becomes a graph
+// of basic blocks whose edges follow Go's structured control flow —
+// if/else, loops with break/continue (labeled or not), switch and select
+// dispatch, goto, and early returns. Deferred calls are recorded both in
+// their block (where they are registered) and on the CFG (where they run:
+// every function exit), because lock-discipline and leak analyses treat
+// "defer mu.Unlock()" as covering all exits reachable after registration.
+//
+// The graph is intra-procedural; callgraph.go stitches functions together.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a straight-line run of statements (and the
+// occasional condition expression) with edges to its successors.
+type Block struct {
+	Index int
+	// Kind names the structural role of the block ("entry", "body",
+	// "if.then", "for.head", "select.case", "exit", ...), used by the
+	// golden dumps and diagnostics.
+	Kind string
+	// Nodes are the statements and condition expressions executed in
+	// order. Condition expressions (if/for guards, switch tags) appear as
+	// ast.Expr entries.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block // filled in by finish
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fn ast.Node
+	// Name is the function's diagnostic name (methods are receiver
+	// qualified; literals get a parent$n suffix — see FlowInfo).
+	Name   string
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block every return, panic, and
+	// body fall-through edge targets. Deferred calls conceptually run here.
+	Exit *Block
+	// Defers lists every *ast.DeferStmt in the body, in source order.
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the under-construction graph plus the break/continue
+// and label environments.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breakTargets / continueTargets are stacks of enclosing loop (and,
+	// for break, switch/select) join blocks, innermost last, each with the
+	// statement's label ("" when unlabeled).
+	breakTargets    []labeledBlock
+	continueTargets []labeledBlock
+
+	// gotoLabels maps a label name to its block; forward gotos park edges
+	// in pendingGotos until the label is built.
+	gotoLabels   map[string]*Block
+	pendingGotos map[string][]*Block
+
+	// fallthroughTarget is the next case clause while a dispatch body is
+	// being built (fallthrough is only legal directly inside one).
+	fallthroughTarget *Block
+	// loopDepths tracks whether each enclosing loop pushed a labeled pair
+	// onto the target stacks, so popLoop removes the right number.
+	loopDepths []loopMark
+}
+
+type labeledBlock struct {
+	label string
+	block *Block
+}
+
+// BuildCFG constructs the control-flow graph for fn, which must be an
+// *ast.FuncDecl (with a body) or *ast.FuncLit. name is the diagnostic
+// name recorded on the graph. Function literals nested inside fn are NOT
+// traversed into — each literal gets its own CFG (their bodies run on
+// their own schedule, not inline).
+func BuildCFG(fn ast.Node, name string) *CFG {
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	default:
+		return nil
+	}
+	if body == nil {
+		return nil
+	}
+	b := &cfgBuilder{
+		cfg:          &CFG{Fn: fn, Name: name},
+		gotoLabels:   make(map[string]*Block),
+		pendingGotos: make(map[string][]*Block),
+	}
+	entry := b.newBlock("entry")
+	b.cfg.Entry = entry
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmts(body.List)
+	// Fall off the end of the body: implicit return.
+	b.edge(b.cur, b.cfg.Exit)
+	// Unresolved gotos (syntactically impossible in type-checked code, but
+	// stay total): route them to exit.
+	for _, srcs := range b.pendingGotos {
+		for _, s := range srcs {
+			b.edge(s, b.cfg.Exit)
+		}
+	}
+	b.finish()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current block with no fall-through successor and
+// starts a fresh (initially unreachable) block for any dead code after a
+// return/branch.
+func (b *cfgBuilder) terminate(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate("dead")
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.terminate("dead")
+		}
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec,
+		// empty statements: straight-line.
+		b.add(s)
+	}
+}
+
+// isTerminalCall reports whether expr is a call that never returns:
+// panic(...) or os.Exit-alikes (resolved syntactically; the CFG has no
+// type info, and the over-approximation of treating a shadowed "panic" as
+// terminal is harmless for the analyses built on top).
+func isTerminalCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			if pkg.Name == "os" && fn.Sel.Name == "Exit" {
+				return true
+			}
+			if fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" {
+				return true // log.Fatal family
+			}
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+
+	then := b.newBlock("if.then")
+	join := b.newBlock("if.join")
+	b.edge(head, then)
+	b.cur = then
+	b.stmts(s.Body.List)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(head, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.join")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+	}
+
+	b.edge(head, body)
+	if s.Cond != nil {
+		// `for {}` has no exit edge from the head; anything after it is
+		// reachable only via break.
+		b.edge(head, join)
+	}
+
+	b.pushLoop(label, join, post)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, post)
+	b.popLoop()
+
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	// Only the ranged expression lives in the head: the body statements
+	// get their own blocks, and storing the whole RangeStmt here would
+	// wrongly attribute them to the head (containsNode walks subtrees).
+	head.Nodes = append(head.Nodes, s.X)
+
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.edge(head, body)
+	b.edge(head, join) // ranges always terminate (or are broken out of)
+
+	b.pushLoop(label, join, head)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, head)
+	b.popLoop()
+
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.dispatch(s.Body.List, label, "switch", hasDefaultClause(s.Body.List))
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.dispatch(s.Body.List, label, "typeswitch", hasDefaultClause(s.Body.List))
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	b.dispatch(s.Body.List, label, "select", true)
+	// A select with no default still proceeds once a case fires; the
+	// "blocks forever when no case can fire" hazard is goroutineleak's
+	// concern, not an edge-shape one: every clause edge exists either way.
+}
+
+// dispatch builds the shared clause structure of switch / type switch /
+// select statements. complete marks dispatches that always take a clause
+// (select, or a switch with a default): incomplete ones get a direct
+// head→join edge.
+func (b *cfgBuilder) dispatch(clauses []ast.Stmt, label, kind string, complete bool) {
+	head := b.cur
+	join := b.newBlock(kind + ".join")
+	// break (optionally labeled) inside a clause exits the statement.
+	b.breakTargets = append(b.breakTargets, labeledBlock{label, join}, labeledBlock{"", join})
+
+	var blocks []*Block
+	var bodies [][]ast.Stmt
+	for _, cl := range clauses {
+		blk := b.newBlock(kind + ".case")
+		b.edge(head, blk)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			bodies = append(bodies, cl.Body)
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cl.Comm)
+			}
+			bodies = append(bodies, cl.Body)
+		default:
+			bodies = append(bodies, nil)
+		}
+		blocks = append(blocks, blk)
+	}
+	if !complete {
+		b.edge(head, join)
+	}
+	for i, blk := range blocks {
+		b.cur = blk
+		// fallthrough in clause i jumps to clause i+1's block; model it by
+		// letting branchStmt see the next block (saved/restored so nested
+		// dispatches inside a clause body do not clobber it).
+		next := join
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		saved := b.fallthroughTarget
+		b.fallthroughTarget = next
+		b.stmts(bodies[i])
+		b.fallthroughTarget = saved
+		b.edge(b.cur, join)
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-2]
+	b.cur = join
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	// A label is a join point: give it its own block so gotos have a
+	// target, then build the labeled statement with the label in scope so
+	// `break L` / `continue L` resolve.
+	blk, ok := b.gotoLabels[s.Label.Name]
+	if !ok {
+		blk = b.newBlock("label." + s.Label.Name)
+		b.gotoLabels[s.Label.Name] = blk
+	} else {
+		blk.Kind = "label." + s.Label.Name
+	}
+	for _, src := range b.pendingGotos[s.Label.Name] {
+		b.edge(src, blk)
+	}
+	delete(b.pendingGotos, s.Label.Name)
+	b.edge(b.cur, blk)
+	b.cur = blk
+
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breakTargets, label); t != nil {
+			b.edge(b.cur, t)
+		} else {
+			b.edge(b.cur, b.cfg.Exit)
+		}
+		b.terminate("dead")
+	case token.CONTINUE:
+		if t := findTarget(b.continueTargets, label); t != nil {
+			b.edge(b.cur, t)
+		} else {
+			b.edge(b.cur, b.cfg.Exit)
+		}
+		b.terminate("dead")
+	case token.GOTO:
+		if blk, ok := b.gotoLabels[label]; ok {
+			b.edge(b.cur, blk)
+		} else {
+			b.pendingGotos[label] = append(b.pendingGotos[label], b.cur)
+		}
+		b.terminate("dead")
+	case token.FALLTHROUGH:
+		if b.fallthroughTarget != nil {
+			b.edge(b.cur, b.fallthroughTarget)
+		}
+		b.terminate("dead")
+	}
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, labeledBlock{"", brk})
+	b.continueTargets = append(b.continueTargets, labeledBlock{"", cont})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, labeledBlock{label, brk})
+		b.continueTargets = append(b.continueTargets, labeledBlock{label, cont})
+	}
+	b.loopDepths = append(b.loopDepths, loopMark{label != ""})
+}
+
+func (b *cfgBuilder) popLoop() {
+	mark := b.loopDepths[len(b.loopDepths)-1]
+	b.loopDepths = b.loopDepths[:len(b.loopDepths)-1]
+	n := 1
+	if mark.labeled {
+		n = 2
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-n]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-n]
+}
+
+type loopMark struct{ labeled bool }
+
+// findTarget resolves a (possibly labeled) break/continue target,
+// innermost match last.
+func findTarget(stack []labeledBlock, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// finish computes predecessor lists and prunes nothing: unreachable
+// "dead" blocks stay in the graph (harmless — traversals start at Entry).
+func (b *cfgBuilder) finish() {
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+}
+
+// Reachable returns the set of blocks reachable from `from` (inclusive)
+// along forward edges.
+func (c *CFG) Reachable(from *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(from)
+	return seen
+}
+
+// nodeRef addresses one node occurrence inside a CFG.
+type nodeRef struct {
+	block *Block
+	index int // position in block.Nodes
+}
+
+// findNode locates the occurrence of n (by identity) in the graph.
+func (c *CFG) findNode(n ast.Node) (nodeRef, bool) {
+	for _, blk := range c.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n || containsNode(node, n) {
+				return nodeRef{blk, i}, true
+			}
+		}
+	}
+	return nodeRef{}, false
+}
+
+// containsNode reports whether outer's subtree contains inner. Condition
+// expressions and whole statements are block nodes; analyzers often hold
+// an inner expression (a call) instead.
+func containsNode(outer, inner ast.Node) bool {
+	if outer == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(outer, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == inner {
+			found = true
+			return false
+		}
+		// Do not descend into nested function literals: their statements
+		// belong to a different CFG.
+		if _, ok := n.(*ast.FuncLit); ok && n != outer {
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// PathAvoiding reports whether some path from the occurrence of `from`
+// to the exit block avoids every node for which stop returns true. The
+// search resumes AFTER `from` within its block. This is the primitive
+// behind "Lock without a dominating Unlock on some exit path".
+func (c *CFG) PathAvoiding(from ast.Node, stop func(ast.Node) bool) bool {
+	ref, ok := c.findNode(from)
+	if !ok {
+		return false
+	}
+	// Remainder of the starting block first.
+	for i := ref.index + 1; i < len(ref.block.Nodes); i++ {
+		if stop(ref.block.Nodes[i]) {
+			return false
+		}
+	}
+	seen := map[*Block]bool{ref.block: true}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == c.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if stop(n) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range ref.block.Succs {
+		if walk(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesBetween returns every node that can execute after the occurrence
+// of `from` and before a node matching stop on the same path (the
+// Lock→Unlock window). Nodes on paths that never hit stop are included
+// up to the exit.
+func (c *CFG) NodesBetween(from ast.Node, stop func(ast.Node) bool) []ast.Node {
+	ref, ok := c.findNode(from)
+	if !ok {
+		return nil
+	}
+	var out []ast.Node
+	emit := func(n ast.Node) bool { // returns true when the window closed
+		if stop(n) {
+			return true
+		}
+		out = append(out, n)
+		return false
+	}
+	for i := ref.index + 1; i < len(ref.block.Nodes); i++ {
+		if emit(ref.block.Nodes[i]) {
+			return out
+		}
+	}
+	seen := map[*Block]bool{ref.block: true}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if emit(n) {
+				return
+			}
+		}
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	for _, s := range ref.block.Succs {
+		walk(s)
+	}
+	return out
+}
+
+// BackwardNodes returns every node that can execute strictly before the
+// occurrence of n on some path from entry: the nodes preceding n in its
+// own block plus all nodes of transitively preceding blocks. Used by the
+// deadline analyzer ("is any SetDeadline backward-reachable?").
+func (c *CFG) BackwardNodes(n ast.Node) []ast.Node {
+	ref, ok := c.findNode(n)
+	if !ok {
+		return nil
+	}
+	var out []ast.Node
+	out = append(out, ref.block.Nodes[:ref.index]...)
+	seen := map[*Block]bool{ref.block: true}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		out = append(out, b.Nodes...)
+		for _, p := range b.Preds {
+			walk(p)
+		}
+	}
+	for _, p := range ref.block.Preds {
+		walk(p)
+	}
+	return out
+}
+
+// Dump renders the graph in the stable text form the golden tests
+// assert: one line per block with kind and successor list, then one
+// indented line per node with its line number and a compact rendering.
+func (c *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", c.Name)
+	for _, blk := range c.Blocks {
+		// Skip empty unreachable filler blocks to keep goldens stable.
+		if blk.Kind == "dead" && len(blk.Nodes) == 0 && len(blk.Preds) == 0 && len(blk.Succs) == 0 {
+			continue
+		}
+		succs := make([]string, 0, len(blk.Succs))
+		for _, s := range blk.Succs {
+			succs = append(succs, fmt.Sprintf("b%d", s.Index))
+		}
+		arrow := ""
+		if len(succs) > 0 {
+			arrow = " -> " + strings.Join(succs, " ")
+		}
+		fmt.Fprintf(&sb, "  b%d %s%s\n", blk.Index, blk.Kind, arrow)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "    L%d %s\n", fset.Position(n.Pos()).Line, renderNode(fset, n))
+		}
+	}
+	return sb.String()
+}
+
+// renderNode prints a node as a single truncated line of source.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	const max = 60
+	if len(s) > max {
+		s = s[:max-3] + "..."
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow enforces context propagation: a function that accepts a
+// context.Context must actually thread it into the blocking work it does.
+// Two patterns are flagged:
+//
+//   - a ctx parameter that is never used while the body performs blocking
+//     calls (channel operations, network I/O, time.Sleep, or calls that
+//     themselves accept a context) — the caller's cancellation silently
+//     stops at this frame;
+//   - context.Background() or context.TODO() created while a ctx
+//     parameter is in scope — a fresh root detaches the entire subtree
+//     from the caller's deadline.
+//
+// The dropped-parameter check is reachability-aware: only blocking work
+// reachable from function entry in the CFG counts, so a ctx-less debug
+// branch behind a constant guard does not fire it.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Context parameters dropped instead of propagated " +
+		"into blocking calls, and Background/TODO roots created while a ctx is in scope",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	cg := pass.CallGraph()
+	for _, node := range cg.Nodes {
+		if node.Pkg == nil || node.Pkg.Path != pass.PkgPath {
+			continue
+		}
+		checkCtxFunc(pass, node)
+	}
+}
+
+// ctxParams returns the declared context.Context parameter objects of fn.
+func ctxParams(info *types.Info, fn ast.Node) []*types.Var {
+	var fields *ast.FieldList
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		fields = f.Type.Params
+	case *ast.FuncLit:
+		fields = f.Type.Params
+	}
+	if fields == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range fields.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj, ok := info.Defs[name].(*types.Var); ok && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkCtxFunc(pass *Pass, node *CGNode) {
+	info := node.Pkg.Info
+	body := funcBody(node.Fn)
+	if body == nil {
+		return
+	}
+	params := ctxParams(info, node.Fn)
+
+	// Background/TODO roots while a ctx is in scope.
+	if len(params) > 0 {
+		inspectNoLits(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fullCalleeName(info, call) {
+			case "context.Background", "context.TODO":
+				pass.Reportf(call.Pos(),
+					"%s creates a fresh context root while parameter %s is in scope; propagate the parameter (or derive with context.WithTimeout) so cancellation reaches this call tree",
+					fullCalleeName(info, call), params[0].Name())
+			}
+			return true
+		})
+	}
+
+	// Dropped parameters: unused ctx + reachable blocking work.
+	for _, param := range params {
+		if usedInBody(info, body, param) {
+			continue
+		}
+		desc, pos := reachableBlockingWork(pass, node)
+		if desc == "" {
+			continue
+		}
+		blockLine := pass.Fset.Position(pos).Line
+		pass.Reportf(param.Pos(),
+			"context.Context parameter %s is dropped, but the function performs blocking work (%s at line %d); propagate the context so callers can cancel it",
+			param.Name(), desc, blockLine)
+	}
+}
+
+// usedInBody reports whether param is referenced anywhere in body,
+// including inside nested literals (a capture is a use).
+func usedInBody(info *types.Info, body *ast.BlockStmt, param *types.Var) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == param {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// reachableBlockingWork finds the first CFG-reachable blocking operation
+// in node's body: channel ops, selects, network I/O, time.Sleep, or a
+// call whose signature accepts a context.
+func reachableBlockingWork(pass *Pass, node *CGNode) (string, token.Pos) {
+	cfg := pass.CFGOf(node)
+	if cfg == nil {
+		return "", token.NoPos
+	}
+	info := node.Pkg.Info
+	reach := cfg.Reachable(cfg.Entry)
+	for _, blk := range cfg.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		for _, bn := range blk.Nodes {
+			var desc string
+			var pos token.Pos
+			inspectNoLits(bn, func(n ast.Node) bool {
+				if desc != "" {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					desc, pos = "a channel send", n.Pos()
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						desc, pos = "a channel receive", n.Pos()
+					}
+				case *ast.SelectStmt:
+					desc, pos = "a select", n.Pos()
+				case *ast.CallExpr:
+					name := fullCalleeName(info, n)
+					switch {
+					case name == "time.Sleep":
+						desc, pos = "time.Sleep", n.Pos()
+					case riskyIONames[name] || gobIONames[name]:
+						desc, pos = shortCallName(name), n.Pos()
+					case callAcceptsContext(info, n):
+						desc, pos = "a context-accepting call", n.Pos()
+					}
+				}
+				return true
+			})
+			if desc != "" {
+				return desc, pos
+			}
+		}
+	}
+	return "", token.NoPos
+}
+
+// callAcceptsContext reports whether the call's static signature has a
+// context.Context parameter.
+func callAcceptsContext(info *types.Info, call *ast.CallExpr) bool {
+	id := calleeIdent(call)
+	if id == nil {
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

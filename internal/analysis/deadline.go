@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deadline enforces the invariant the cluster's fault-tolerance work
+// depends on: no blocking network I/O without a bound. A net.Conn
+// Read/Write — or a gob Encode/Decode in a package that speaks the
+// cluster's conn-backed RPC — must have a deadline arranged before it
+// runs, or a dead peer parks the goroutine (and with it a session)
+// forever.
+//
+// The check is flow-sensitive and interprocedural. An I/O call is
+// covered when a deadline establisher — SetDeadline / SetReadDeadline /
+// SetWriteDeadline, context.WithTimeout / WithDeadline, net.DialTimeout,
+// or time.AfterFunc — is backward-reachable from the call in its
+// function's CFG. An uncovered call is still fine when every static
+// caller chain establishes a deadline before entering (the dialOne
+// pattern: the dial path sets the deadline, the helper does the I/O);
+// the diagnostic fires only when some chain reaches the I/O with no
+// bound arranged anywhere.
+var Deadline = &Analyzer{
+	Name: "deadline",
+	Doc: "flag net.Conn reads/writes and conn-backed gob RPC calls with " +
+		"no deadline reachable before them, here or in any caller",
+	Run: runDeadline,
+}
+
+// riskyIONames are the direct network operations.
+var riskyIONames = map[string]bool{
+	"(net.Conn).Read":      true,
+	"(net.Conn).Write":     true,
+	"(*net.TCPConn).Read":  true,
+	"(*net.TCPConn).Write": true,
+	"(*net.UDPConn).Read":  true,
+	"(*net.UDPConn).Write": true,
+}
+
+// gobIONames are risky only in packages that also import net: there the
+// codec is (or wraps) a live connection. File-backed checkpoint codecs in
+// net-free packages stay out of scope.
+var gobIONames = map[string]bool{
+	"(*encoding/gob.Encoder).Encode": true,
+	"(*encoding/gob.Decoder).Decode": true,
+}
+
+// isDeadlineEstablisher recognizes the calls that arrange a bound.
+func isDeadlineEstablisher(name string) bool {
+	if name == "" {
+		return false
+	}
+	switch name {
+	case "net.DialTimeout", "context.WithTimeout", "context.WithDeadline", "time.AfterFunc":
+		return true
+	}
+	return strings.HasSuffix(name, ").SetDeadline") ||
+		strings.HasSuffix(name, ").SetReadDeadline") ||
+		strings.HasSuffix(name, ").SetWriteDeadline")
+}
+
+// deadlineSummaries caches, per call-graph node, whether every caller
+// chain into it establishes a deadline.
+type deadlineSummaries struct {
+	cg   *CallGraph
+	flow *flowCache
+	// coveredByCallers memo: 0 unknown, 1 visiting, 2 covered, 3 uncovered.
+	state map[*CGNode]int
+}
+
+func runDeadline(pass *Pass) {
+	sums := pass.Memo(func() any {
+		return &deadlineSummaries{cg: pass.CallGraph(), flow: pass.flow, state: make(map[*CGNode]int)}
+	}).(*deadlineSummaries)
+
+	gobRisky := importsNet(pass.Files)
+
+	for _, node := range sums.cg.Nodes {
+		if node.Pkg == nil || node.Pkg.Path != pass.PkgPath {
+			continue
+		}
+		cfg := sums.flow.cfg(node)
+		if cfg == nil {
+			continue
+		}
+		info := node.Pkg.Info
+		inspectNoLits(funcBody(node.Fn), func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := fullCalleeName(info, call)
+			if !riskyIONames[name] && !(gobRisky && gobIONames[name]) {
+				return true
+			}
+			if establisherBefore(info, cfg, call) {
+				return true
+			}
+			if sums.coveredByCallers(node) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s without a deadline: no SetDeadline/SetReadDeadline/SetWriteDeadline, context.WithTimeout, or net.DialTimeout is reachable before this call, here or in any caller of %s; a dead peer blocks this goroutine forever",
+				shortCallName(name), node.Name)
+			return true
+		})
+	}
+}
+
+// establisherBefore reports whether a deadline establisher can execute
+// before the call within its own function.
+func establisherBefore(info *types.Info, cfg *CFG, call *ast.CallExpr) bool {
+	for _, prior := range cfg.BackwardNodes(call) {
+		if containsCallNamed(info, prior, func(name string, _ *ast.CallExpr) bool {
+			return isDeadlineEstablisher(name)
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+// coveredByCallers reports whether every static path into node arranges
+// a deadline before the call site. A node with no module callers is
+// uncovered (it is an entry point, so nothing above it can help).
+func (s *deadlineSummaries) coveredByCallers(node *CGNode) bool {
+	switch s.state[node] {
+	case 1:
+		return true // optimistic on cycles; the cycle's entry edge is still checked
+	case 2:
+		return true
+	case 3:
+		return false
+	}
+	s.state[node] = 1
+	covered := s.computeCoveredByCallers(node)
+	if covered {
+		s.state[node] = 2
+	} else {
+		s.state[node] = 3
+	}
+	return covered
+}
+
+func (s *deadlineSummaries) computeCoveredByCallers(node *CGNode) bool {
+	callers := s.cg.Callers(node)
+	if len(callers) == 0 {
+		return false
+	}
+	for _, caller := range callers {
+		cfg := s.flow.cfg(caller)
+		if cfg == nil {
+			return false
+		}
+		info := caller.Pkg.Info
+		// Every edge from this caller into node must be preceded by an
+		// establisher (or the caller itself must be covered).
+		for _, e := range caller.Calls {
+			if e.Callee != node {
+				continue
+			}
+			call, ok := e.Site.(*ast.CallExpr)
+			if !ok {
+				// Reference edge: the function value can run from anywhere;
+				// assume uncovered.
+				return false
+			}
+			if establisherBefore(info, cfg, call) {
+				continue
+			}
+			if !s.coveredByCallers(caller) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// importsNet reports whether any file of the package imports "net".
+func importsNet(files []*ast.File) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"net"` {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// shortCallName renders "(net.Conn).Read" as "net.Conn.Read" for message
+// readability.
+func shortCallName(full string) string {
+	s := strings.ReplaceAll(strings.ReplaceAll(full, "(", ""), ")", "")
+	s = strings.ReplaceAll(s, "*", "")
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

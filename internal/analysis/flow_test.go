@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoroutineleakGolden, and its three siblings, pin the flow-sensitive
+// analyzers' behavior on fixtures holding at least one true positive and
+// one waived false positive each.
+func TestGoroutineleakGolden(t *testing.T) {
+	runGolden(t, "goroutineleak", "repro/internal/goroutineleak", "goroutineleak", []*Analyzer{Goroutineleak})
+}
+
+func TestLockdisciplineGolden(t *testing.T) {
+	runGolden(t, "lockdiscipline", "repro/internal/lockdiscipline", "lockdiscipline", []*Analyzer{Lockdiscipline})
+}
+
+func TestDeadlineGolden(t *testing.T) {
+	runGolden(t, "deadline", "repro/internal/deadline", "deadline", []*Analyzer{Deadline})
+}
+
+func TestCtxflowGolden(t *testing.T) {
+	runGolden(t, "ctxflow", "repro/internal/ctxflow", "ctxflow", []*Analyzer{Ctxflow})
+}
+
+// compareGolden diffs got against testdata/<name>.golden, rewriting the
+// golden when -update is set.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	goldenPath := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestCFGGolden pins the CFG builder's block structure on the flow
+// fixture: loops with break/continue and labels, defers, fallthrough,
+// select, method values, closures.
+func TestCFGGolden(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "flow"), "repro/internal/flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cfg := BuildCFG(fd, fd.Name.Name)
+			fmt.Fprintf(&b, "== %s ==\n%s\n", fd.Name.Name, cfg.Dump(pkg.Fset))
+		}
+	}
+	compareGolden(t, "cfg_flow", b.String())
+}
+
+// TestCallGraphGolden pins the call-graph builder: direct edges, method
+// values as ref edges, immediately invoked literals, and $n literal
+// naming.
+func TestCallGraphGolden(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "flow"), "repro/internal/flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := BuildCallGraph([]*Package{pkg})
+	compareGolden(t, "callgraph_flow", cg.Dump())
+}
+
+// TestCFGPathQueries exercises the reachability helpers the analyzers
+// depend on, beyond what the dump shows.
+func TestCFGPathQueries(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "flow"), "repro/internal/flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loopsFn *ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "loops" {
+				loopsFn = fd
+			}
+		}
+	}
+	if loopsFn == nil {
+		t.Fatal("fixture function loops not found")
+	}
+	cfg := BuildCFG(loopsFn, "loops")
+	reach := cfg.Reachable(cfg.Entry)
+	if !reach[cfg.Exit] {
+		t.Fatal("exit not reachable from entry in loops")
+	}
+	// Every block except the builder's post-jump "dead" placeholders must
+	// be reachable: the builder must not orphan loop bodies or
+	// labeled-break targets.
+	for _, blk := range cfg.Blocks {
+		if blk.Kind != "dead" && !reach[blk] {
+			t.Errorf("block b%d (%s) unreachable from entry", blk.Index, blk.Kind)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+// Shared helpers for the flow-sensitive analyzers: callee resolution
+// against an arbitrary package's type info (the module-wide summaries
+// cross package boundaries, so Pass.CalleeName is not enough) and AST
+// walks that respect function-literal boundaries.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fullCalleeName resolves a call's target to its fully qualified name
+// ("math.Log", "(*sync.Mutex).Lock", "(net.Conn).Read") using the given
+// package's type info. It returns "" for dynamic calls, builtins, and
+// type conversions.
+func fullCalleeName(info *types.Info, call *ast.CallExpr) string {
+	id := calleeIdent(call)
+	if id == nil {
+		return ""
+	}
+	if f, ok := info.Uses[id].(*types.Func); ok {
+		return f.FullName()
+	}
+	return ""
+}
+
+// inspectNoLits walks n's subtree like ast.Inspect but does not descend
+// into nested function literals: their bodies execute on their own
+// schedule and belong to their own CFG/call-graph node.
+func inspectNoLits(n ast.Node, f func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// containsCallNamed reports whether n's subtree (literal boundaries
+// respected) contains a call matching pred.
+func containsCallNamed(info *types.Info, n ast.Node, pred func(name string, call *ast.CallExpr) bool) bool {
+	found := false
+	inspectNoLits(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if pred(fullCalleeName(info, call), call) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit node.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}

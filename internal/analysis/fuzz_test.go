@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowParser drives the //lint:allow comment parser with arbitrary
+// comment text: it must never panic, and its classification must stay
+// consistent (an accepted allow always carries the prefix; name and
+// reason never contain leading/trailing space).
+func FuzzAllowParser(f *testing.F) {
+	f.Add("//lint:allow errcheck teardown of an abandoned connection")
+	f.Add("//lint:allow deadline")
+	f.Add("//lint:allow")
+	f.Add("// ordinary comment")
+	f.Add("//lint:allowdeadline smashed together")
+	f.Add("//lint:allow   deadline   spaced   reason  ")
+	f.Add("//lint:allow\tdeadline\ttabbed")
+	f.Add("//lint:allow \x00 nul bytes")
+	f.Fuzz(func(t *testing.T, text string) {
+		name, reason, ok := parseAllow(text)
+		wantOK := text == allowPrefix ||
+			strings.HasPrefix(text, allowPrefix+" ") ||
+			strings.HasPrefix(text, allowPrefix+"\t")
+		if ok != wantOK {
+			t.Fatalf("parseAllow(%q) ok = %v, want %v", text, ok, wantOK)
+		}
+		if !ok {
+			return
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("unnormalized reason %q from %q", reason, text)
+		}
+		for _, s := range []string{name, reason} {
+			for _, r := range s {
+				if r == '\n' || r == '\r' || r == '\t' {
+					t.Fatalf("control character leaked into %q from %q", s, text)
+				}
+			}
+		}
+	})
+}
+
+// FuzzBaselineReader drives the committed-ledger parser with hostile
+// bytes: malformed JSON, wrong versions, and truncated documents must
+// return an error, never panic, and an accepted baseline must satisfy the
+// invariants ReadBaseline promises (version match, positive counts, no
+// duplicate keys).
+func FuzzBaselineReader(f *testing.F) {
+	f.Add([]byte(`{"version": 1, "entries": []}`))
+	f.Add([]byte(`{"version": 1, "entries": [{"analyzer": "deadline", "file": "a.go", "message": "m", "count": 2}]}`))
+	f.Add([]byte(`{"version": 9}`))
+	f.Add([]byte(`{"version": 1, "entries": [{"count": -1}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBaseline(data)
+		if err != nil {
+			return
+		}
+		if b.Version != baselineVersion {
+			t.Fatalf("accepted version %d", b.Version)
+		}
+		seen := map[string]bool{}
+		for _, e := range b.Entries {
+			if e.Analyzer == "" || e.File == "" || e.Message == "" || e.Count < 1 {
+				t.Fatalf("accepted invalid entry %+v", e)
+			}
+			key := baselineKey(e.Analyzer, e.File, e.Message)
+			if seen[key] {
+				t.Fatalf("accepted duplicate entry %+v", e)
+			}
+			seen[key] = true
+		}
+		// An accepted ledger must survive a marshal/read round trip.
+		data2, err := b.Marshal()
+		if err != nil {
+			t.Fatalf("marshal of accepted baseline failed: %v", err)
+		}
+		if _, err := ReadBaseline(data2); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

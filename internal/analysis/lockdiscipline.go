@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockdiscipline enforces two mutex invariants on the CFG and call graph:
+//
+//  1. Release on every path: a sync.Mutex/RWMutex Lock (or RLock) must be
+//     followed by the matching Unlock on every path to function exit,
+//     either explicitly or by a defer registered on the path. A return
+//     that sneaks out with the lock held deadlocks the next caller.
+//
+//  2. Consistent order across functions: if one call path acquires lock A
+//     and then (still holding A) reaches code that acquires B, while
+//     another acquires B then A, the two paths can deadlock against each
+//     other. Lock identities are type-qualified field paths, so `p.mu` in
+//     one method and `pool.mu` in another unify. Acquiring the same lock
+//     again while it is held (via a static call chain) is reported as a
+//     self-deadlock.
+var Lockdiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flag Lock calls without a matching Unlock/defer on every exit " +
+		"path, and lock-order inversions across the call graph",
+	Run: runLockdiscipline,
+}
+
+// lockNames maps acquire methods to their release counterparts.
+var lockNames = map[string]string{
+	"(*sync.Mutex).Lock":    "(*sync.Mutex).Unlock",
+	"(*sync.RWMutex).Lock":  "(*sync.RWMutex).Unlock",
+	"(*sync.RWMutex).RLock": "(*sync.RWMutex).RUnlock",
+}
+
+// lockOrderEdge is one "A held while acquiring B" observation.
+type lockOrderEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+	via      string // callee name the acquisition happens through ("" = direct)
+}
+
+// lockSummaries is the module-wide half: per-function acquired locks and
+// the held-while-acquiring order graph.
+type lockSummaries struct {
+	cg    *CallGraph
+	flow  *flowCache
+	acqs  map[*CGNode]map[string]token.Pos // memo: transitively acquired lock keys
+	state map[*CGNode]int                  // 0 unvisited, 1 visiting, 2 done
+	edges []lockOrderEdge
+	built bool
+}
+
+func runLockdiscipline(pass *Pass) {
+	sums := pass.Memo(func() any {
+		s := &lockSummaries{
+			cg:    pass.CallGraph(),
+			flow:  pass.flow,
+			acqs:  make(map[*CGNode]map[string]token.Pos),
+			state: make(map[*CGNode]int),
+		}
+		s.build()
+		return s
+	}).(*lockSummaries)
+
+	// Per-function release-on-every-path checks, for functions whose body
+	// lives in this package.
+	for _, node := range sums.cg.Nodes {
+		if node.Pkg == nil || node.Pkg.Path != pass.PkgPath {
+			continue
+		}
+		checkLockReleases(pass, sums, node)
+	}
+
+	// Order-inversion and self-deadlock reports for edges observed in this
+	// package.
+	sums.reportInversions(pass)
+}
+
+// checkLockReleases verifies every Lock site in node's CFG reaches a
+// matching Unlock (or registered defer) on all paths to exit.
+func checkLockReleases(pass *Pass, sums *lockSummaries, node *CGNode) {
+	cfg := sums.flow.cfg(node)
+	if cfg == nil {
+		return
+	}
+	info := node.Pkg.Info
+	body := funcBody(node.Fn)
+	inspectNoLits(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := fullCalleeName(info, call)
+		unlockName, isLock := lockNames[name]
+		if !isLock {
+			return true
+		}
+		recv := receiverExprString(call)
+		isRelease := func(m ast.Node) bool {
+			return containsCallNamed(info, m, func(cn string, c *ast.CallExpr) bool {
+				return cn == unlockName && receiverExprString(c) == recv
+			})
+		}
+		// Covered when no exit path avoids the release, or when a matching
+		// defer was registered before the Lock (unusual but sound).
+		if !cfg.PathAvoiding(call, isRelease) {
+			return true
+		}
+		for _, prior := range cfg.BackwardNodes(call) {
+			if d, ok := prior.(*ast.DeferStmt); ok && isRelease(d) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s is not released on every path to return; add %s.%s or a defer on the escaping path",
+			recv, shortLockName(name), recv, shortLockName(unlockName))
+		return true
+	})
+}
+
+// shortLockName renders "(*sync.Mutex).Lock" as "Lock()".
+func shortLockName(full string) string {
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i] == '.' {
+			return full[i+1:] + "()"
+		}
+	}
+	return full
+}
+
+// receiverExprString renders the receiver expression of a method call
+// ("p.mu", "m.pool.mu") for same-function matching.
+func receiverExprString(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return types.ExprString(sel.X)
+}
+
+// lockKey renders a cross-function lock identity: the receiver's
+// innermost named type plus the field selector path, or the package-level
+// variable's qualified name.
+func lockKey(info *types.Info, pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv := ast.Unparen(sel.X)
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		// x.mu (or x.inner.mu): qualify by the type of x and the field name.
+		if t := info.TypeOf(r.X); t != nil {
+			return trimModule(typeString(t)) + "." + r.Sel.Name
+		}
+		return r.Sel.Name
+	case *ast.Ident:
+		if obj := info.Uses[r]; obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return trimModule(obj.Pkg().Path()) + "." + r.Name
+			}
+			// Function-local mutex: identity is scoped to this module run;
+			// the position string keeps distinct locals distinct.
+			return "local." + r.Name
+		}
+	}
+	return types.ExprString(recv)
+}
+
+// typeString renders a type with pointers stripped so (*Pool).mu and
+// Pool.mu unify.
+func typeString(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	return t.String()
+}
+
+// build computes acquired-lock summaries for every node and collects the
+// held-while-acquiring order edges.
+func (s *lockSummaries) build() {
+	for _, node := range s.cg.Nodes {
+		s.acquired(node)
+	}
+	for _, node := range s.cg.Nodes {
+		s.collectHeldEdges(node)
+	}
+	s.built = true
+}
+
+// acquired returns the set of lock keys node may acquire, directly or
+// through static calls (memoized; cycles break optimistically).
+func (s *lockSummaries) acquired(node *CGNode) map[string]token.Pos {
+	if s.state[node] == 2 {
+		return s.acqs[node]
+	}
+	if s.state[node] == 1 {
+		return nil
+	}
+	s.state[node] = 1
+	out := make(map[string]token.Pos)
+	info := node.Pkg.Info
+	inspectNoLits(funcBody(node.Fn), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, isLock := lockNames[fullCalleeName(info, call)]; isLock {
+			if key := lockKey(info, node.Pkg, call); key != "" {
+				if _, seen := out[key]; !seen {
+					out[key] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	for _, e := range node.Calls {
+		if e.Ref {
+			continue
+		}
+		for key, pos := range s.acquired(e.Callee) {
+			if _, seen := out[key]; !seen {
+				out[key] = pos
+			}
+		}
+	}
+	s.acqs[node] = out
+	s.state[node] = 2
+	return out
+}
+
+// collectHeldEdges walks each Lock→Unlock window in node's CFG and
+// records an order edge for every lock acquired inside the window —
+// directly or via a static callee.
+func (s *lockSummaries) collectHeldEdges(node *CGNode) {
+	cfg := s.flow.cfg(node)
+	if cfg == nil {
+		return
+	}
+	info := node.Pkg.Info
+	inspectNoLits(funcBody(node.Fn), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := fullCalleeName(info, call)
+		unlockName, isLock := lockNames[name]
+		if !isLock {
+			return true
+		}
+		heldKey := lockKey(info, node.Pkg, call)
+		if heldKey == "" {
+			return true
+		}
+		recv := receiverExprString(call)
+		isRelease := func(m ast.Node) bool {
+			if _, ok := m.(*ast.DeferStmt); ok {
+				// A deferred unlock runs at function exit: the lock stays held
+				// through everything after it, so it must not close the window.
+				return false
+			}
+			return containsCallNamed(info, m, func(cn string, c *ast.CallExpr) bool {
+				return cn == unlockName && receiverExprString(c) == recv
+			})
+		}
+		for _, held := range cfg.NodesBetween(call, isRelease) {
+			inspectNoLits(held, func(m ast.Node) bool {
+				inner, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// Direct nested acquisition.
+				if _, isL := lockNames[fullCalleeName(info, inner)]; isL {
+					if key := lockKey(info, node.Pkg, inner); key != "" && inner != call {
+						s.edges = append(s.edges, lockOrderEdge{heldKey, key, inner.Pos(), node.Pkg, ""})
+					}
+					return true
+				}
+				// Acquisition through a static module callee.
+				if id := calleeIdent(inner); id != nil {
+					if obj, ok := info.Uses[id].(*types.Func); ok {
+						if callee := s.cg.NodeFor(obj); callee != nil {
+							for key := range s.acquired(callee) {
+								s.edges = append(s.edges, lockOrderEdge{heldKey, key, inner.Pos(), node.Pkg, callee.Name})
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// reportInversions emits order-inversion and self-deadlock diagnostics
+// for edges sited in the current package.
+func (s *lockSummaries) reportInversions(pass *Pass) {
+	// Index edges by (from, to) for the inversion lookup.
+	type pair struct{ from, to string }
+	index := make(map[pair]lockOrderEdge, len(s.edges))
+	for _, e := range s.edges {
+		p := pair{e.from, e.to}
+		if prev, ok := index[p]; !ok || e.pos < prev.pos {
+			index[p] = e
+		}
+	}
+	var msgs []Diagnostic
+	seen := map[string]bool{}
+	for _, e := range s.edges {
+		if e.pkg == nil || e.pkg.Path != pass.PkgPath {
+			continue
+		}
+		if e.from == e.to {
+			via := ""
+			if e.via != "" {
+				via = fmt.Sprintf(" (via %s)", e.via)
+			}
+			key := fmt.Sprintf("self|%s|%d", e.from, e.pos)
+			if !seen[key] {
+				seen[key] = true
+				msgs = append(msgs, Diagnostic{
+					Analyzer: pass.Analyzer.Name,
+					Pos:      pass.Fset.Position(e.pos),
+					Message: fmt.Sprintf("possible self-deadlock: %s may be acquired%s while already held",
+						e.from, via),
+				})
+			}
+			continue
+		}
+		if rev, ok := index[pair{e.to, e.from}]; ok {
+			key := fmt.Sprintf("inv|%s|%s|%d", e.from, e.to, e.pos)
+			if !seen[key] {
+				seen[key] = true
+				revPos := rev.pkg.Fset.Position(rev.pos)
+				msgs = append(msgs, Diagnostic{
+					Analyzer: pass.Analyzer.Name,
+					Pos:      pass.Fset.Position(e.pos),
+					Message: fmt.Sprintf("lock order inversion: %s is held while acquiring %s here, but the opposite order occurs at %s:%d",
+						e.from, e.to, shortFile(revPos.Filename), revPos.Line),
+				})
+			}
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].Pos.Line != msgs[j].Pos.Line {
+			return msgs[i].Pos.Line < msgs[j].Pos.Line
+		}
+		return msgs[i].Message < msgs[j].Message
+	})
+	for _, d := range msgs {
+		*pass.sink = append(*pass.sink, d)
+	}
+}

@@ -1,8 +1,13 @@
 package analysis
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the original
+// AST-shape analyzers first, then the flow-sensitive ones built on the
+// CFG and call graph.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Concurrency, Floats, Errcheck, Obslog}
+	return []*Analyzer{
+		Determinism, Concurrency, Floats, Errcheck, Obslog,
+		Goroutineleak, Lockdiscipline, Deadline, Ctxflow,
+	}
 }
 
 // ByName returns the named analyzers, or nil plus the first unknown name.

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable report formats for cmd/sbgt-lint. Two are supported:
+// a compact JSON array for scripting, and SARIF 2.1.0 for code-scanning
+// UIs (GitHub's security tab, editor SARIF viewers). Both render the same
+// diagnostics the text output does; paths are whatever the caller put in
+// Diagnostic.Pos.Filename (cmd/sbgt-lint rewrites them module-relative).
+
+// jsonReport is the -format json shape.
+type jsonReport struct {
+	Version     int              `json:"version"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as a versioned JSON document.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	rep := jsonReport{Version: 1, Diagnostics: make([]jsonDiagnostic, 0, len(diags))}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 document shape — the subset code-scanning consumers
+// require: schema/version header, one run, a tool driver with one rule
+// per analyzer, and one result per diagnostic with a physical location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. Every analyzer in
+// the run is declared as a rule (found or not) so consumers can
+// distinguish "rule passed" from "rule absent". Allow-mechanism
+// diagnostics (analyzer "allow") get a synthetic rule on demand.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		known[a.Name] = true
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !known[d.Analyzer] {
+			rules = append(rules, sarifRule{ID: d.Analyzer,
+				ShortDescription: sarifMessage{Text: "lint:allow annotation hygiene"}})
+			known[d.Analyzer] = true
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: d.Pos.Filename, URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "sbgt-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{Analyzer: "deadline", Pos: token.Position{Filename: "internal/cluster/driver.go", Line: 37, Column: 12},
+			Message: "gob.Encoder.Encode without a deadline"},
+		{Analyzer: "goroutineleak", Pos: token.Position{Filename: "internal/cluster/local.go", Line: 55, Column: 3},
+			Message: "goroutine may block forever"},
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Version     int `json:"version"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Version != 1 || len(rep.Diagnostics) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if d := rep.Diagnostics[0]; d.Analyzer != "deadline" || d.File != "internal/cluster/driver.go" || d.Line != 37 {
+		t.Fatalf("first diagnostic = %+v", d)
+	}
+}
+
+func TestWriteJSONEmptyIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Fatalf("empty report must render an empty array, got %s", buf.String())
+	}
+}
+
+// TestWriteSARIFShape validates the output against the SARIF 2.1.0
+// surface code-scanning consumers require: schema/version header, a run
+// with a named tool driver, one rule per analyzer, and results whose
+// locations carry a physical artifact location and 1-based region.
+func TestWriteSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), All()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("header = %s %s", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sbgt-lint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range All() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("analyzer %s missing from rules", a.Name)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result rule %s not declared in driver rules", res.RuleID)
+		}
+		if res.Level != "error" || res.Message.Text == "" {
+			t.Errorf("result = %+v", res)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine < 1 {
+			t.Errorf("location = %+v", loc)
+		}
+	}
+}
+
+// TestWriteSARIFSynthesizesAllowRule covers diagnostics from the "allow"
+// pseudo-analyzer, which is not in the registry but must still resolve to
+// a declared rule.
+func TestWriteSARIFSynthesizesAllowRule(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diagnostic{{Analyzer: "allow", Pos: token.Position{Filename: "x.go", Line: 3, Column: 1}, Message: "stale lint:allow"}}
+	if err := WriteSARIF(&buf, diags, All()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"id": "allow"`) {
+		t.Fatal("allow rule not synthesized")
+	}
+}

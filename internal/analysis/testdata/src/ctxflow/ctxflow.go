@@ -1,0 +1,45 @@
+// Package ctxflow is a fixture for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// dropped accepts a context and then sleeps without consulting it: the
+// caller's cancellation stops dead at this frame.
+func dropped(ctx context.Context, d time.Duration) {
+	time.Sleep(d)
+}
+
+// freshRoot detaches its subtree from the caller's deadline by rooting a
+// new context instead of deriving from the parameter.
+func freshRoot(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return wait(c)
+}
+
+// wait threads its context into the select — the shape the analyzer
+// wants everywhere.
+func wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}
+
+// okThreads propagates the parameter.
+func okThreads(ctx context.Context) error {
+	return wait(ctx)
+}
+
+// ticker's method must keep the parameter to satisfy an interface; the
+// sleep is bounded, so dropping ctx is a documented choice.
+type ticker struct{}
+
+func (ticker) Tick(ctx context.Context) { //lint:allow ctxflow interface-mandated parameter; the bounded sleep needs no cancellation
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,57 @@
+// Package deadline is a fixture for the deadline analyzer.
+package deadline
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+)
+
+// rawRead blocks forever on a dead peer: no deadline here and no caller
+// to arrange one.
+func rawRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+// okLocal arms a read deadline before blocking.
+func okLocal(c net.Conn, buf []byte) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return c.Read(buf)
+}
+
+// readFrame has no establisher of its own, but its only caller arms one
+// before every entry — the dialOne pattern.
+func readFrame(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+func okCaller(c net.Conn, buf []byte) (int, error) {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return readFrame(c, buf)
+}
+
+// decodeLoop is conn-backed gob RPC with no bound anywhere.
+func decodeLoop(c net.Conn) (int, error) {
+	dec := gob.NewDecoder(c)
+	var x int
+	err := dec.Decode(&x)
+	return x, err
+}
+
+// countConn is a passthrough byte counter; deadlines are the wrapped
+// conn's owner's concern, so the waiver documents the false positive.
+type countConn struct {
+	net.Conn
+	n int
+}
+
+func (c *countConn) Read(p []byte) (int, error) {
+	//lint:allow deadline passthrough wrapper; the owner arms deadlines on the wrapped conn
+	n, err := c.Conn.Read(p)
+	c.n += n
+	return n, err
+}

@@ -1,0 +1,88 @@
+// Package flow is a fixture for the CFG and call-graph builders: loops
+// with break/continue, defers, switches with fallthrough, selects, method
+// values, and closures.
+package flow
+
+import "sort"
+
+// loops exercises for-loops with break and continue and a labeled outer
+// loop.
+func loops(xs []int) int {
+	total := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for _, x := range xs {
+			if x < 0 {
+				continue
+			}
+			if x == 99 {
+				break outer
+			}
+			total += x
+		}
+	}
+	return total
+}
+
+// defers registers cleanups on both the early and the normal path.
+func defers(fail bool) (err error) {
+	defer sort.Ints(nil)
+	if fail {
+		return nil
+	}
+	defer sort.Ints(nil)
+	return nil
+}
+
+// branches exercises switch with fallthrough and select.
+func branches(n int, ch chan int) int {
+	switch n {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n += 2
+	default:
+		n = -1
+	}
+	select {
+	case v := <-ch:
+		n += v
+	default:
+	}
+	return n
+}
+
+// helper is referenced as a method value and called through it.
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func methodValue(c *counter) func() {
+	f := c.bump
+	f()
+	return c.bump
+}
+
+// closures builds a closure that is invoked immediately and one that
+// escapes.
+func closures(xs []int) func() int {
+	sum := 0
+	func() {
+		for _, x := range xs {
+			sum += x
+		}
+	}()
+	return func() int { return sum }
+}
+
+// calls ties the package together for the call-graph golden.
+func calls(xs []int, c *counter) int {
+	n := loops(xs)
+	if err := defers(false); err != nil {
+		return -1
+	}
+	methodValue(c)()
+	f := closures(xs)
+	return n + f()
+}

@@ -1,0 +1,84 @@
+// Package lockdiscipline is a fixture for the lockdiscipline analyzer.
+package lockdiscipline
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+	n   int
+}
+
+// leakyLock returns with the lock held on the failure path.
+func (b *box) leakyLock(fail bool) int {
+	b.mu.Lock()
+	if fail {
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// okDefer releases through a defer registered right after the acquire.
+func (b *box) okDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// okAllPaths releases explicitly on every path to return.
+func (b *box) okAllPaths(fail bool) int {
+	b.mu.Lock()
+	if fail {
+		b.mu.Unlock()
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// lockAB and lockBA acquire the two locks in opposite orders — the
+// classic inversion that deadlocks when both run concurrently.
+func (b *box) lockAB() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.aux.Lock()
+	defer b.aux.Unlock()
+	b.n++
+}
+
+func (b *box) lockBA() {
+	b.aux.Lock()
+	defer b.aux.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n--
+}
+
+// addLocked acquires b.mu itself, so calling it with b.mu already held
+// self-deadlocks.
+func (b *box) addLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) selfDeadlock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addLocked()
+}
+
+// beginCritical hands its lock to endCritical — a cross-function pairing
+// outside the analyzer's model, so the waiver documents it.
+func (b *box) beginCritical() {
+	//lint:allow lockdiscipline released by endCritical; deliberate cross-function hand-off
+	b.mu.Lock()
+	b.n++
+}
+
+func (b *box) endCritical() {
+	b.mu.Unlock()
+}

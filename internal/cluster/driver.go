@@ -26,6 +26,10 @@ type conn struct {
 	dec    *gob.Decoder
 	lo, hi uint64
 	met    *clusterMetrics // nil when the model is uninstrumented
+	// rpcTimeout bounds each call's send+receive round; <= 0 leaves the
+	// connection unbounded (the pre-RPCTimeout behaviour, where a dead
+	// executor parked the calling goroutine — and its session — forever).
+	rpcTimeout time.Duration
 }
 
 // call sends one request and waits for its response.
@@ -33,6 +37,14 @@ func (c *conn) call(req Request) (Response, error) {
 	if c.met != nil {
 		stop := c.met.rpcHist(req.Op, c.rank).Time()
 		defer stop()
+	}
+	if c.rpcTimeout > 0 {
+		if err := c.nc.SetDeadline(time.Now().Add(c.rpcTimeout)); err != nil {
+			return Response{}, fmt.Errorf("cluster: arm rpc deadline for %s to %s: %w", req.Op, c.addr, err)
+		}
+		// Disarm after the round so an idle session between stages cannot
+		// trip a stale deadline on the next call's write.
+		defer c.nc.SetDeadline(time.Time{})
 	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("cluster: send %s to %s: %w", req.Op, c.addr, err)
@@ -46,6 +58,13 @@ func (c *conn) call(req Request) (Response, error) {
 	}
 	return resp, nil
 }
+
+// DefaultRPCTimeout is the post-dial per-RPC bound DialWith applies when
+// DialOptions.RPCTimeout is zero. It is deliberately generous — an RPC
+// covers a full shard kernel on the largest supported lattice — while
+// still guaranteeing that a dead executor fails the fan-out instead of
+// hanging the session forever.
+const DefaultRPCTimeout = 2 * time.Minute
 
 // MaxSubjects bounds the cohort size of one distributed lattice model:
 // the full 2^N lattice must fit a uint64 state count, and shards are
@@ -119,6 +138,11 @@ type DialOptions struct {
 	// failure aborts the fan-out (<= 0 selects 1). Retries are counted in
 	// sbgt_cluster_dial_retries_total when a registry is attached.
 	Attempts int
+	// RPCTimeout bounds every post-dial RPC round (request send plus
+	// response receive) on each connection. 0 selects DefaultRPCTimeout;
+	// negative disables the bound entirely, restoring the old behaviour in
+	// which a dead executor parks the calling goroutine forever.
+	RPCTimeout time.Duration
 	// Obs, when non-nil, receives driver-side metrics: per-op RPC latency
 	// histograms, bytes sent/received, dial retries, and per-executor
 	// shard-size gauges. Per-executor series use the stable fan-out rank
@@ -145,7 +169,7 @@ func Dial(addrs []string, risks []float64, resp dilution.Response, timeout time.
 // dialOne runs one connection attempt: TCP dial, deadline, prior build.
 // Errors are unadorned — DialWith wraps them with the executor address
 // and attempt number.
-func dialOne(addr string, rank int, lo, hi uint64, risks []float64, timeout time.Duration, met *clusterMetrics) (*conn, float64, error) {
+func dialOne(addr string, rank int, lo, hi uint64, risks []float64, timeout, rpcTimeout time.Duration, met *clusterMetrics) (*conn, float64, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, 0, err
@@ -173,6 +197,9 @@ func dialOne(addr string, rank int, lo, hi uint64, risks []float64, timeout time
 			return nil, 0, fmt.Errorf("clear deadline: %w", err)
 		}
 	}
+	// Arm per-RPC deadlines only now: the dial deadline above owns the
+	// prior-build round, so the two bounds never fight over the socket.
+	c.rpcTimeout = rpcTimeout
 	return c, resp.Sum, nil
 }
 
@@ -204,6 +231,10 @@ func DialWith(addrs []string, risks []float64, resp dilution.Response, opts Dial
 	if attempts < 1 {
 		attempts = 1
 	}
+	rpcTimeout := opts.RPCTimeout
+	if rpcTimeout == 0 {
+		rpcTimeout = DefaultRPCTimeout
+	}
 	met := newClusterMetrics(opts.Obs, len(addrs))
 	per := total / uint64(len(addrs))
 	rem := total % uint64(len(addrs))
@@ -223,7 +254,7 @@ func DialWith(addrs []string, risks []float64, resp dilution.Response, opts Dial
 		go func(i int, addr string, lo, hi uint64) {
 			defer wg.Done()
 			for attempt := 1; attempt <= attempts; attempt++ {
-				c, sum, err := dialOne(addr, i, lo, hi, risks, opts.Timeout, met)
+				c, sum, err := dialOne(addr, i, lo, hi, risks, opts.Timeout, rpcTimeout, met)
 				if err == nil {
 					conns[i] = c
 					sums[i] = sum

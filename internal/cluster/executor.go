@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/bits"
 	"net"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -23,6 +24,7 @@ type Executor struct {
 	log    *slog.Logger
 	met    *executorMetrics // nil when uninstrumented
 	tracer *obs.Tracer      // always non-nil; records traced dispatches
+	idle   time.Duration    // per-round read/write bound; 0 disables
 
 	// Shard state, valid after OpBuildPrior.
 	n    int
@@ -52,6 +54,18 @@ func (e *Executor) SetTracer(t *obs.Tracer) {
 		t = obs.NewTracer(0)
 	}
 	e.tracer = t
+}
+
+// SetIdleTimeout bounds how long one driver connection may sit silent (or
+// refuse to accept a response) before the executor drops it and returns to
+// accepting. Serve handles connections serially, so without a bound a
+// wedged driver — half-open TCP, a stalled process holding the socket —
+// starves every future driver forever. d <= 0 disables the bound.
+func (e *Executor) SetIdleTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.idle = d
 }
 
 // Close releases the local worker pool.
@@ -84,12 +98,28 @@ func (e *Executor) handle(conn net.Conn) bool {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if e.idle > 0 {
+			// Bound the wait for the next request: a silent or half-open
+			// driver releases the (serial) accept loop instead of holding it.
+			if err := conn.SetReadDeadline(time.Now().Add(e.idle)); err != nil {
+				e.log.Warn("cluster executor: arm read deadline", "err", err)
+				return false
+			}
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
 				e.log.Warn("cluster executor: decode", "err", err)
 			}
 			return false
+		}
+		if e.idle > 0 {
+			// A fresh write window per response: the read deadline above may
+			// be nearly spent by the time a long kernel finishes.
+			if err := conn.SetWriteDeadline(time.Now().Add(e.idle)); err != nil {
+				e.log.Warn("cluster executor: arm write deadline", "err", err)
+				return false
+			}
 		}
 		if req.Op == OpShutdown {
 			//lint:allow errcheck best-effort shutdown ack; the driver may already have hung up

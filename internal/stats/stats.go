@@ -241,7 +241,7 @@ func runOne(cfg StudyConfig, r *rng.Source) (Replicate, error) {
 	if err != nil {
 		return Replicate{}, err
 	}
-	defer sess.Close() //lint:allow errcheck abandoned-session teardown; Run's error wins
+	defer sess.Close()
 	res, err := sess.Run(oracle.Test)
 	if err != nil {
 		return Replicate{}, err

@@ -12,8 +12,9 @@ go build ./...
 echo '== go vet =='
 go vet ./...
 
-echo '== sbgt-lint =='
-go run ./cmd/sbgt-lint ./...
+echo '== sbgt-lint (waiver audit + baseline check) =='
+go run ./cmd/sbgt-lint -audit ./...
+go run ./cmd/sbgt-lint -baseline-check ./...
 
 echo '== go test =='
 go test ./...
@@ -25,6 +26,8 @@ echo '== fuzz smoke (10s each) =='
 go test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
 go test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fuzztime 10s
 go test ./internal/obs -run FuzzTraceContextRoundTrip -fuzz FuzzTraceContextRoundTrip -fuzztime 10s
+go test ./internal/analysis -run xxx -fuzz FuzzAllowParser -fuzztime 10s
+go test ./internal/analysis -run xxx -fuzz FuzzBaselineReader -fuzztime 10s
 
 echo '== bench smoke (quick, vs committed baseline, 5x bound) =='
 go run ./cmd/sbgt-bench -exp T1,F6 -quick -baseline BENCH_new.json > /dev/null
