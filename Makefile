@@ -33,20 +33,24 @@ fuzz:
 	$(GO) test ./internal/analysis -run xxx -fuzz FuzzBaselineReader -fuzztime 10s
 
 # Perf-regression harness (the BENCH trajectory). BENCH_EXPS picks the
-# experiments, BENCH_RATIO the slowdown bound sbgt-benchdiff applies.
-BENCH_EXPS ?= T1,F6
+# experiments, BENCH_RATIO the slowdown bound sbgt-benchdiff applies,
+# BENCH_FILE the committed baseline being tracked (BENCH_1.json is the
+# current head of the trajectory; BENCH_0.json is the pre-kernel-layer
+# seed it is diffed against in EXPERIMENTS.md).
+BENCH_EXPS ?= T1,F6,A5
 BENCH_RATIO ?= 1.5
+BENCH_FILE ?= BENCH_1.json
 
 # Record the committed baseline: run the bench experiments quick and
-# write BENCH_0.json (wall times + registry snapshot + git SHA).
+# write $(BENCH_FILE) (wall times + registry snapshot + git SHA).
 bench-baseline:
-	$(GO) run ./cmd/sbgt-bench -exp $(BENCH_EXPS) -quick -baseline BENCH_0.json
+	$(GO) run ./cmd/sbgt-bench -exp $(BENCH_EXPS) -quick -baseline $(BENCH_FILE)
 
 # Compare a fresh run against the committed baseline; exits non-zero on
 # regression beyond the thresholds.
 bench-check:
 	$(GO) run ./cmd/sbgt-bench -exp $(BENCH_EXPS) -quick -baseline BENCH_new.json >/dev/null
-	$(GO) run ./cmd/sbgt-benchdiff -ratio $(BENCH_RATIO) BENCH_0.json BENCH_new.json
+	$(GO) run ./cmd/sbgt-benchdiff -ratio $(BENCH_RATIO) $(BENCH_FILE) BENCH_new.json
 
 # The full gate, identical to .github/workflows/ci.yml.
 ci:

@@ -106,6 +106,7 @@ func registry() []experiment {
 		{"A2", "ablation: fused vs two-pass update", runA2},
 		{"A3", "ablation: halving candidate set (prefix vs +local-search)", runA3},
 		{"A4", "ablation: cohort assignment (sorted vs contiguous binning)", runA4},
+		{"A5", "ablation: structure-aware kernels (sub-lattice, radix, tiling, fusion)", runA5},
 	}
 }
 

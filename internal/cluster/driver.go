@@ -471,6 +471,58 @@ func (m *Model) Entropy() (float64, error) {
 	return nats / math.Ln2, nil
 }
 
+// Summary is the driver-side merged fused digest; fields mirror
+// posterior.Summary.
+type Summary struct {
+	Marginals        []float64
+	EntropyBits      float64
+	MAPState         bitvec.Mask
+	MAPMass          float64
+	ExpectedInfected float64
+	Mass             float64
+}
+
+// Summary gathers every statistic a session round reads in ONE
+// distributed round trip — marginals, entropy, MAP, expected-infected,
+// and total mass — where the separate kernels would pay four. Executor
+// partials merge in rank order with compensated accumulators; the argmax
+// takes the lowest state on ties (shards are rank-ordered by state range,
+// so first-wins is the lowest state).
+func (m *Model) Summary() (*Summary, error) {
+	resps, err := m.fanout(func(*conn) Request { return Request{Op: OpSummary} })
+	if err != nil {
+		return nil, err
+	}
+	out := &Summary{Marginals: make([]float64, m.n), MAPMass: math.Inf(-1)}
+	margAccs := make([]prob.Accumulator, m.n)
+	var ent, exp, mass prob.Accumulator
+	for i, r := range resps {
+		ws := r.Summary
+		if ws == nil {
+			return nil, fmt.Errorf("cluster: executor %d returned no summary payload", i)
+		}
+		if len(ws.Marginals) != m.n {
+			return nil, fmt.Errorf("cluster: summary marginals have %d entries, want %d", len(ws.Marginals), m.n)
+		}
+		for j, x := range ws.Marginals {
+			margAccs[j].Add(x)
+		}
+		ent.Add(ws.Entropy)
+		exp.Add(ws.Expected)
+		mass.Add(ws.Mass)
+		if ws.MAPOK && (ws.MAPMass > out.MAPMass || (ws.MAPMass == out.MAPMass && ws.MAPState < uint64(out.MAPState))) { //lint:allow floats exact equality is the deterministic argmax tie-break
+			out.MAPState, out.MAPMass = bitvec.Mask(ws.MAPState), ws.MAPMass
+		}
+	}
+	for j := range margAccs {
+		out.Marginals[j] = margAccs[j].Value()
+	}
+	out.EntropyBits = ent.Value() / math.Ln2
+	out.ExpectedInfected = exp.Value()
+	out.Mass = mass.Value()
+	return out, nil
+}
+
 // IntersectDist returns the posterior distribution of |S ∩ pool|.
 func (m *Model) IntersectDist(pool bitvec.Mask) ([]float64, error) {
 	return m.fanoutVec(bits.OnesCount64(uint64(pool))+1, func(*conn) Request {

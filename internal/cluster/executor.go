@@ -208,10 +208,25 @@ func (e *Executor) dispatch(req Request) Response {
 		return e.mass(req)
 	case OpPrefix:
 		return e.prefixScan(req)
+	case OpSummary:
+		return e.summary(req)
 	default:
 		return errorf(req.Op, "unknown op")
 	}
 }
+
+// Kernel blocking parameters, mirroring the in-process lattice layer (the
+// executor re-implements the shard-local kernels rather than importing
+// lattice, keeping the dependency arrow one-way).
+const (
+	// radixBits decomposes a state into a low byte walked per state and
+	// high bits accounted once per aligned 256-state block.
+	radixBits  = 8
+	radixBlock = 1 << radixBits
+	// negMassesTile is the shard tile (in states) kept cache-resident
+	// across all candidates during a candidate scan: 4096 × 8 B = 32 KiB.
+	negMassesTile = 1 << 12
+)
 
 // forRange runs body over local index chunks of the shard in parallel.
 func (e *Executor) forRange(body func(lo, hi int)) {
@@ -363,16 +378,62 @@ func (e *Executor) marginals(Request) Response {
 	out := make([]float64, e.n)
 	// Single-threaded accumulation per executor keeps this allocation-free
 	// and is still distributed across executors; shards are the unit of
-	// parallelism for vector-valued reductions on the wire.
-	for j, w := range e.data {
+	// parallelism for vector-valued reductions on the wire. The radix
+	// decomposition (see lattice.Marginals) walks only each state's low
+	// byte and books the shared high bits once per aligned block.
+	addMarginalsRadix(e.lo, e.data, out)
+	return Response{Op: OpMarginals, Vec: out}
+}
+
+// addMarginalsWalk accumulates marginal mass with the plain per-state bit
+// walk; the ragged-edge path of the radix kernel.
+func addMarginalsWalk(offset uint64, data []float64, out []float64) {
+	for j := range data {
+		w := data[j]
 		if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
 			continue
 		}
-		for v := e.lo + uint64(j); v != 0; v &= v - 1 {
+		for v := offset + uint64(j); v != 0; v &= v - 1 {
 			out[bits.TrailingZeros64(v)] += w
 		}
 	}
-	return Response{Op: OpMarginals, Vec: out}
+}
+
+// addMarginalsRadix accumulates marginal mass block-wise: within an
+// aligned radixBlock run of states only the low radixBits differ, so each
+// state walks at most 8 bits and the block's total mass is added to the
+// shared high bits once.
+func addMarginalsRadix(offset uint64, data []float64, out []float64) {
+	lo := offset
+	hi := offset + uint64(len(data))
+	head := (lo + radixBlock - 1) &^ uint64(radixBlock-1)
+	tail := hi &^ uint64(radixBlock-1)
+	if head >= tail {
+		addMarginalsWalk(lo, data, out)
+		return
+	}
+	addMarginalsWalk(lo, data[:head-lo], out)
+	for b := head; b < tail; b += radixBlock {
+		blk := data[b-lo : b-lo+radixBlock]
+		var blockSum float64
+		for j := range blk {
+			w := blk[j]
+			if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
+				continue
+			}
+			blockSum += w
+			for v := uint64(j); v != 0; v &= v - 1 {
+				out[bits.TrailingZeros64(v)] += w
+			}
+		}
+		if blockSum == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
+			continue
+		}
+		for v := b >> radixBits; v != 0; v &= v - 1 {
+			out[radixBits+bits.TrailingZeros64(v)] += blockSum
+		}
+	}
+	addMarginalsWalk(tail, data[tail-lo:], out)
 }
 
 func (e *Executor) negMasses(req Request) Response {
@@ -380,18 +441,30 @@ func (e *Executor) negMasses(req Request) Response {
 		return errorf(req.Op, "no candidates")
 	}
 	out := make([]float64, len(req.Cands))
-	// Candidate-outer, register-accumulating loop (see lattice.NegMasses);
-	// executors additionally parallelize over candidates locally.
-	e.pool.For(len(req.Cands), 1, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			pm := req.Cands[c]
-			var acc float64
-			for j := range e.data {
-				if (e.lo+uint64(j))&pm == 0 {
-					acc += e.data[j]
-				}
+	// Tile-outer, candidate-inner loop (see lattice.NegMasses): each
+	// 32 KiB shard tile stays cache-resident while every candidate in the
+	// worker's chunk scores it, instead of re-streaming the whole shard
+	// once per candidate. Workers split the candidate list; each out[c]
+	// has a single writer accumulating in fixed tile order, so the result
+	// is deterministic.
+	e.pool.For(len(req.Cands), 1, func(clo, chi int) {
+		for t0 := 0; t0 < len(e.data); t0 += negMassesTile {
+			t1 := t0 + negMassesTile
+			if t1 > len(e.data) {
+				t1 = len(e.data)
 			}
-			out[c] = acc
+			blk := e.data[t0:t1]
+			toff := e.lo + uint64(t0)
+			for c := clo; c < chi; c++ {
+				pm := req.Cands[c]
+				var acc float64
+				for j := range blk {
+					if (toff+uint64(j))&pm == 0 {
+						acc += blk[j]
+					}
+				}
+				out[c] += acc
+			}
 		}
 	})
 	return Response{Op: req.Op, Vec: out}
@@ -453,11 +526,90 @@ func (e *Executor) prefixScan(req Request) Response {
 		for v := e.lo + uint64(j); v != 0; v &= v - 1 {
 			if r := rank[bits.TrailingZeros64(v)]; r < rmin {
 				rmin = r
+				if rmin == 0 {
+					break // rank 0 is the floor; the rest of the walk can't lower it
+				}
 			}
 		}
 		out[rmin] += w
 	}
 	return Response{Op: req.Op, Vec: out}
+}
+
+// summary computes the shard's fused digest in one pass: marginal
+// partials via the radix decomposition, with the scalar statistics and
+// the shard-local argmax folded into the same sweep. Entropy ships in
+// nats; the driver merges executor partials in rank order and converts
+// to bits once.
+func (e *Executor) summary(req Request) Response {
+	ws := &WireSummary{Marginals: make([]float64, e.n), MAPMass: math.Inf(-1), MAPOK: len(e.data) > 0}
+	var ent, exp, mass prob.Accumulator
+	walk := func(offset uint64, data []float64) {
+		for j := range data {
+			w := data[j]
+			s := offset + uint64(j)
+			mass.Add(w)
+			if w > ws.MAPMass {
+				ws.MAPState, ws.MAPMass = s, w
+			}
+			if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
+				continue
+			}
+			if w > 0 {
+				ent.Add(-w * math.Log(w))
+			}
+			exp.Add(w * float64(bits.OnesCount64(s)))
+			for v := s; v != 0; v &= v - 1 {
+				ws.Marginals[bits.TrailingZeros64(v)] += w
+			}
+		}
+	}
+	lo := e.lo
+	hi := e.lo + uint64(len(e.data))
+	head := (lo + radixBlock - 1) &^ uint64(radixBlock-1)
+	tail := hi &^ uint64(radixBlock-1)
+	if head >= tail {
+		walk(lo, e.data)
+	} else {
+		walk(lo, e.data[:head-lo])
+		for b := head; b < tail; b += radixBlock {
+			blk := e.data[b-lo : b-lo+radixBlock]
+			highCount := float64(bits.OnesCount64(b >> radixBits))
+			var blockSum float64
+			for j := range blk {
+				w := blk[j]
+				mass.Add(w)
+				if w > ws.MAPMass {
+					ws.MAPState, ws.MAPMass = b+uint64(j), w
+				}
+				if w == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
+					continue
+				}
+				blockSum += w
+				if w > 0 {
+					ent.Add(-w * math.Log(w))
+				}
+				exp.Add(w * (highCount + float64(bits.OnesCount64(uint64(j)))))
+				for v := uint64(j); v != 0; v &= v - 1 {
+					ws.Marginals[bits.TrailingZeros64(v)] += w
+				}
+			}
+			if blockSum == 0 { //lint:allow floats exact-zero sparsity skip; near-zero mass must still count
+				continue
+			}
+			for v := b >> radixBits; v != 0; v &= v - 1 {
+				ws.Marginals[radixBits+bits.TrailingZeros64(v)] += blockSum
+			}
+		}
+		walk(tail, e.data[tail-lo:])
+	}
+	ws.Entropy = ent.Value()
+	ws.Expected = exp.Value()
+	ws.Mass = mass.Value()
+	if !ws.MAPOK {
+		ws.MAPMass = 0 // keep the wire form finite; MAPOK marks the argmax absent
+	}
+	return Response{Op: req.Op, Summary: ws}
 }
 
 func (e *Executor) mass(req Request) Response {

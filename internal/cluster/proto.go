@@ -43,6 +43,7 @@ const (
 	OpShutdown             // close the executor process
 	OpPrefix               // partial min-rank histogram for the halving prefix scan
 	OpLoadShard            // install a driver-supplied shard (conditioning / restore scatter)
+	OpSummary              // fused shard digest: marginals + entropy + MAP + E[|S|] + mass
 )
 
 // String names the op for errors and logs.
@@ -76,6 +77,8 @@ func (o Op) String() string {
 		return "prefix-scan"
 	case OpLoadShard:
 		return "load-shard"
+	case OpSummary:
+		return "summary"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -115,11 +118,28 @@ type Response struct {
 	Err string // non-empty on failure; the rest of the payload is invalid
 	Sum float64
 	Vec []float64
+	// Summary is the fused shard digest, present only for OpSummary.
+	Summary *WireSummary
 	// Spans is the trace trailer: the executor-side spans completed while
 	// serving this request (dispatch + kernel), present only when the
 	// request carried a trace context. The driver absorbs them into its
 	// own tracer so the assembled trace holds both sides of the RPC.
 	Spans []WireSpan
+}
+
+// WireSummary is one executor's partial fused digest of its shard: the
+// per-subject marginal partials plus the scalar statistics and the
+// shard-local argmax. Entropy ships in nats — the driver merges partials
+// first and converts to bits once, matching the in-process kernel's
+// reduction shape.
+type WireSummary struct {
+	Marginals []float64
+	Entropy   float64 // Σ −p·ln p over the shard (nats)
+	Expected  float64 // Σ p·|S| over the shard
+	Mass      float64 // Σ p over the shard
+	MAPState  uint64  // shard-local argmax state
+	MAPMass   float64 // its mass; −Inf is encoded as MAPOK=false
+	MAPOK     bool    // false when the shard is empty (no argmax)
 }
 
 // WireSpan is one finished span in wire form: a gob-friendly flattening

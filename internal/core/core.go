@@ -278,16 +278,12 @@ func NewSessionOn(model posterior.Model, cfg Config) (*Session, error) {
 		s.active[i] = i
 		s.calls[i] = Classification{Subject: i, Status: StatusUnknown, Marginal: full.Risks[i]}
 	}
-	marg, err := model.Marginals()
+	sum, err := model.Summary()
 	if err != nil {
-		return nil, fmt.Errorf("core: prior marginals: %w", err)
+		return nil, fmt.Errorf("core: prior summary: %w", err)
 	}
-	s.marg = marg
-	ent, err := model.Entropy()
-	if err != nil {
-		return nil, fmt.Errorf("core: prior entropy: %w", err)
-	}
-	s.entropy = append(s.entropy, ent)
+	s.marg = sum.Marginals
+	s.entropy = append(s.entropy, sum.EntropyBits)
 	return s, nil
 }
 
@@ -426,12 +422,9 @@ func (s *Session) Step(test TestFunc) error {
 
 	cs := span.Child("classify")
 	s.setCarrierContext(cs.Context())
-	err := s.classify()
+	ent, err := s.classify()
 	if err == nil && s.model != nil {
-		var ent float64
-		if ent, err = s.model.Entropy(); err == nil {
-			s.entropy = append(s.entropy, ent)
-		}
+		s.entropy = append(s.entropy, ent)
 	}
 	timing.Classify = cs.End()
 	s.phases.classify.Observe(timing.Classify.Seconds())
@@ -447,14 +440,21 @@ func (s *Session) StageTimings() []StageTiming {
 }
 
 // classify repeatedly conditions out the most certain subject until no
-// marginal crosses a threshold. Marginals are recomputed after each
-// collapse because conditioning shifts the survivors' posteriors.
-func (s *Session) classify() error {
+// marginal crosses a threshold, and returns the entropy (bits) of the
+// final posterior — valid only while the model survives. Marginals are
+// recomputed after each collapse because conditioning shifts the
+// survivors' posteriors; each iteration reads the fused Summary, so the
+// terminal no-crossing pass yields the stage's entropy for free instead
+// of a separate full sweep.
+func (s *Session) classify() (float64, error) {
+	var ent float64
 	for s.model != nil {
-		marg, err := s.model.Marginals()
+		sum, err := s.model.Summary()
 		if err != nil {
-			return err
+			return 0, err
 		}
+		marg := sum.Marginals
+		ent = sum.EntropyBits
 		s.marg = marg
 		// Most extreme crossing first: the strongest call distorts the
 		// remaining posterior least when conditioned on.
@@ -476,13 +476,13 @@ func (s *Session) classify() error {
 			}
 		}
 		if bestPos == -1 {
-			return nil
+			return ent, nil
 		}
 		if err := s.record(bestPos, positive, marg[bestPos], false); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	return ent, nil
 }
 
 // record classifies the subject at model position pos and collapses it

@@ -13,6 +13,7 @@ import (
 // so results do not depend on execution interleaving.
 type Vector struct {
 	pool    *Pool
+	backing []float64 // one contiguous allocation; parts slice into it
 	parts   [][]float64
 	offsets []uint64 // global index of each partition's first element
 	n       uint64
@@ -27,38 +28,45 @@ func NewVector(pool *Pool, n uint64, parts int) *Vector {
 	if pool == nil {
 		panic("engine: NewVector with nil pool")
 	}
-	if parts <= 0 {
-		parts = pool.Workers() * 4
-	}
-	if uint64(parts) > n && n > 0 {
-		parts = int(n)
-	}
-	if n == 0 {
-		parts = 0
-	}
 	v := &Vector{
 		pool:    pool,
-		parts:   make([][]float64, parts),
-		offsets: make([]uint64, parts),
+		backing: make([]float64, n),
 		n:       n,
 	}
-	if parts == 0 {
-		return v
+	v.partition(parts)
+	return v
+}
+
+// partition re-slices the first n elements of the backing array into the
+// given number of partitions (<= 0 selects 4 per worker), with sizes
+// differing by at most one.
+func (v *Vector) partition(parts int) {
+	if parts <= 0 {
+		parts = v.pool.Workers() * 4
 	}
-	backing := make([]float64, n)
-	per := n / uint64(parts)
-	rem := n % uint64(parts)
+	if uint64(parts) > v.n && v.n > 0 {
+		parts = int(v.n)
+	}
+	if v.n == 0 {
+		parts = 0
+	}
+	v.parts = make([][]float64, parts)
+	v.offsets = make([]uint64, parts)
+	if parts == 0 {
+		return
+	}
+	per := v.n / uint64(parts)
+	rem := v.n % uint64(parts)
 	var off uint64
 	for i := 0; i < parts; i++ {
 		size := per
 		if uint64(i) < rem {
 			size++
 		}
-		v.parts[i] = backing[off : off+size : off+size]
+		v.parts[i] = v.backing[off : off+size : off+size]
 		v.offsets[i] = off
 		off += size
 	}
-	return v
 }
 
 // Len returns the number of elements.
@@ -158,6 +166,96 @@ func (v *Vector) ReduceVec(m int, body func(part int, offset uint64, data []floa
 		out[j] = accs[j].Value()
 	}
 	return out
+}
+
+// minSubsetGE returns the smallest submask f of free with f >= x in
+// integer order, and ok = false when free has no such submask. It is the
+// entry-point computation for clamping a masked subset walk to a
+// partition's [offset, offset+len) index range.
+func minSubsetGE(free, x uint64) (f uint64, ok bool) {
+	if x == 0 {
+		return 0, true
+	}
+	var r uint64
+	for b := 63; b >= 0; b-- {
+		bit := uint64(1) << uint(b)
+		if free&bit != 0 {
+			// Match x's bit and stay tight: equal prefixes so far.
+			if x&bit != 0 {
+				r |= bit
+			}
+			continue
+		}
+		if x&bit == 0 {
+			continue
+		}
+		// x demands a 1 at a position free cannot supply, so every submask
+		// with the tight prefix is < x from here down. Bump the lowest free
+		// bit above b still unset in r (its x-bit is 0, so the result
+		// exceeds x) and clear everything below it for minimality.
+		avail := free &^ r &^ (bit | (bit - 1))
+		if avail == 0 {
+			return 0, false
+		}
+		low := avail & (-avail)
+		return (r | low) &^ (low - 1), true
+	}
+	// Tight all the way: x is itself a submask of free.
+	return r, true
+}
+
+// ReduceSubset returns the deterministic compensated sum of the elements
+// whose global index lies in the sub-lattice {base | f : f ⊆ free}. base
+// and free must be disjoint and base|free must be a valid index. Each
+// partition enumerates its slice of the sub-lattice in increasing index
+// order with the masked subset iteration f' = (f − free) & free, clamped
+// to the partition range via minSubsetGE, so the walk stays parallel
+// across partitions and the result is bit-identical to a dense scan that
+// skips non-members — at 2^popcount(free) loads instead of Len().
+func (v *Vector) ReduceSubset(base, free uint64) float64 {
+	if base&free != 0 {
+		panic(fmt.Sprintf("engine: ReduceSubset masks overlap (base %x, free %x)", base, free))
+	}
+	if top := base | free; top >= v.n {
+		panic(fmt.Sprintf("engine: ReduceSubset index %d out of range [0,%d)", top, v.n))
+	}
+	return v.ReduceSum(func(_ int, offset uint64, data []float64) prob.Accumulator {
+		var acc prob.Accumulator
+		hi := offset + uint64(len(data))
+		if hi <= base {
+			return acc
+		}
+		var xlo uint64
+		if offset > base {
+			xlo = offset - base
+		}
+		f, ok := minSubsetGE(free, xlo)
+		for ok && base+f < hi {
+			acc.Add(data[base+f-offset])
+			if f == free {
+				break
+			}
+			f = (f - free) & free
+		}
+		return acc
+	})
+}
+
+// ShrinkGather shrinks the vector in place to n elements (n <= Len) and
+// re-partitions it into parts partitions (<= 0 selects the engine
+// default). body receives dst — the vector's first n elements after the
+// call — and src, the full previous contents. The two alias the same
+// backing array, so body must only assign dst[i] from src positions >= i
+// (a forward monotone gather, like a bit-splice collapse); it runs
+// single-threaded because the aliasing makes partition-parallel writes
+// racy. This is the zero-allocation substrate of in-place conditioning.
+func (v *Vector) ShrinkGather(n uint64, parts int, body func(dst, src []float64)) {
+	if n > v.n {
+		panic(fmt.Sprintf("engine: ShrinkGather to %d exceeds length %d", n, v.n))
+	}
+	body(v.backing[:n], v.backing[:v.n])
+	v.n = n
+	v.partition(parts)
 }
 
 // Fill sets every element to x, in parallel.

@@ -92,12 +92,112 @@ func BenchmarkIntersectDist(b *testing.B) {
 
 func BenchmarkCondition(b *testing.B) {
 	m := benchLattice(b, 16, flatResp)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if c := m.Condition(3, false); c == nil {
 			b.Fatal("condition failed")
 		}
 	}
+}
+
+// BenchmarkConditionInPlace measures the reuse path against the
+// allocating Condition above: the collapse gathers inside the receiver's
+// own backing array, so the 2^N vector (and model) allocation disappears.
+// Each collapse shrinks the model, so rebuild when it runs out.
+func BenchmarkConditionInPlace(b *testing.B) {
+	m := benchLattice(b, 16, flatResp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.N() <= 2 {
+			b.StopTimer()
+			m = benchLattice(b, 16, flatResp)
+			b.StartTimer()
+		}
+		if c := m.ConditionInPlace(0, false); c == nil {
+			b.Fatal("condition failed")
+		}
+	}
+}
+
+// BenchmarkNegMassCrossover sweeps pool size × N for both NegMass paths.
+// This sweep backs the SubLatticeMinPool default: the sub-lattice walk
+// visits 2^(N−g) states but strided, the dense sweep visits 2^N
+// contiguously, so the crossover sits where the 2^g state reduction
+// overtakes the bandwidth advantage.
+func BenchmarkNegMassCrossover(b *testing.B) {
+	for _, n := range []int{14, 18, 20} {
+		m := benchLattice(b, n, flatResp)
+		for _, g := range []int{1, 2, 3, 4, 6, 8} {
+			// Spread pool: representative stride pattern (neither the
+			// contiguous high-bits best case nor the unit-stride worst).
+			var pm bitvec.Mask
+			for i := 0; i < g; i++ {
+				pm = pm.With(i * n / g)
+			}
+			b.Run(fmt.Sprintf("N=%d/pool=%d/dense", n, g), func(b *testing.B) {
+				prev := SetSubLatticeMinPool(n + 1)
+				defer SetSubLatticeMinPool(prev)
+				for i := 0; i < b.N; i++ {
+					m.NegMass(pm)
+				}
+			})
+			b.Run(fmt.Sprintf("N=%d/pool=%d/sublattice", n, g), func(b *testing.B) {
+				prev := SetSubLatticeMinPool(1)
+				defer SetSubLatticeMinPool(prev)
+				for i := 0; i < b.N; i++ {
+					m.NegMass(pm)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNegMassesTiling sweeps candidate-count × N for the tiled and
+// untiled candidate scans.
+func BenchmarkNegMassesTiling(b *testing.B) {
+	for _, n := range []int{14, 18, 20} {
+		m := benchLattice(b, n, flatResp)
+		for _, k := range []int{2, 8, 32} {
+			cands := make([]bitvec.Mask, k)
+			var prefix bitvec.Mask
+			for i := range cands {
+				prefix = prefix.With(i % n)
+				cands[i] = prefix | bitvec.FromIndices((i*7)%n)
+			}
+			b.Run(fmt.Sprintf("N=%d/cands=%d/untiled", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.NegMassesUntiled(cands)
+				}
+			})
+			b.Run(fmt.Sprintf("N=%d/cands=%d/tiled", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.NegMasses(cands)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSummary compares the fused digest with the four separate
+// passes it replaces per session round.
+func BenchmarkSummary(b *testing.B) {
+	m := benchLattice(b, 18, flatResp)
+	b.Run("separate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Marginals()
+			m.Entropy()
+			m.MAP()
+			m.ExpectedInfected()
+			m.Mass()
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Summary()
+		}
+	})
 }
 
 func min(a, b int) int {

@@ -5,15 +5,20 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 // CLIFlags bundles the observability flags every sbgt command shares:
-// -metrics-addr, -log-level, and -trace-out. Register them with
-// RegisterFlags, parse, then call Start to materialize the runtime.
+// -metrics-addr, -log-level, -trace-out, and the offline profiling pair
+// -cpuprofile / -memprofile. Register them with RegisterFlags, parse,
+// then call Start to materialize the runtime.
 type CLIFlags struct {
 	MetricsAddr string
 	LogLevel    string
 	TraceOut    string
+	CPUProfile  string
+	MemProfile  string
 }
 
 // RegisterFlags installs the shared observability flags on fs
@@ -29,6 +34,10 @@ func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
 		"log verbosity: debug | info | warn | error")
 	fs.StringVar(&f.TraceOut, "trace-out", "",
 		"write collected spans as NDJSON to this file on exit (empty = off)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "",
+		"write a CPU profile covering Start-to-Close to this file (empty = off)")
+	fs.StringVar(&f.MemProfile, "memprofile", "",
+		"write an allocation profile at Close to this file (empty = off)")
 	return f
 }
 
@@ -43,6 +52,8 @@ type Runtime struct {
 
 	server   *Server
 	traceOut string
+	cpuOut   *os.File // non-nil while a CPU profile is being collected
+	memOut   string
 }
 
 // Start materializes the parsed flags into a Runtime. component tags
@@ -57,6 +68,7 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		Tracer:   NewTracer(0),
 		Log:      log,
 		traceOut: f.TraceOut,
+		memOut:   f.MemProfile,
 	}
 	rt.Tracer.SetDropCounter(rt.Reg.Counter("sbgt_obs_spans_dropped_total"))
 	if f.MetricsAddr != "" {
@@ -64,6 +76,18 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if f.CPUProfile != "" {
+		out, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(out); err != nil {
+			//lint:allow errcheck the create just succeeded; nothing to do about a close error on the bail-out path
+			_ = out.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		rt.cpuOut = out
 	}
 	return rt, nil
 }
@@ -84,15 +108,37 @@ func (rt *Runtime) Fatal(err error) {
 	os.Exit(1)
 }
 
-// Close stops the metrics server (if any) and writes the trace file (if
-// configured). It returns the first error; commands exiting anyway may
-// log it at warn level.
+// Close stops the metrics server (if any), finishes the CPU profile and
+// writes the allocation profile (when requested), and writes the trace
+// file (if configured). It returns the first error; commands exiting
+// anyway may log it at warn level.
 func (rt *Runtime) Close() error {
 	var first error
 	if rt.server != nil {
 		if err := rt.server.Close(); err != nil {
 			first = err
 		}
+	}
+	if rt.cpuOut != nil {
+		pprof.StopCPUProfile()
+		if err := rt.cpuOut.Close(); err != nil && first == nil {
+			first = fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		rt.cpuOut = nil
+	}
+	if rt.memOut != "" {
+		f, err := os.Create(rt.memOut)
+		if err == nil {
+			runtime.GC() // settle live-heap accounting before the snapshot
+			err = pprof.Lookup("allocs").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("obs: memprofile: %w", err)
+		}
+		rt.memOut = ""
 	}
 	if rt.traceOut != "" {
 		f, err := os.Create(rt.traceOut)

@@ -70,6 +70,23 @@ func (c *Cluster) PrefixNegMasses(order []int) ([]float64, error) {
 // Entropy returns the posterior entropy in bits.
 func (c *Cluster) Entropy() (float64, error) { return c.m.Entropy() }
 
+// Summary gathers the fused per-round digest in one distributed round
+// trip instead of four.
+func (c *Cluster) Summary() (*Summary, error) {
+	d, err := c.m.Summary()
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{
+		Marginals:        d.Marginals,
+		EntropyBits:      d.EntropyBits,
+		MAPState:         d.MAPState,
+		MAPMass:          d.MAPMass,
+		ExpectedInfected: d.ExpectedInfected,
+		Mass:             d.Mass,
+	}, nil
+}
+
 // Condition collapses subject onto a known status; see Model.Condition.
 // The executor connections (and the local-executor stop function, if
 // any) transfer to the returned model. A transport error mid-condition

@@ -184,6 +184,34 @@ func TestConformanceKernels(t *testing.T) {
 			if d := math.Abs(ent - ref.Entropy()); d > kernelTol {
 				t.Fatalf("entropy off by %v", d)
 			}
+
+			// The fused digest must agree with the dense single-statistic
+			// kernels field by field. The MAP state is compared exactly:
+			// this posterior has a unique argmax, so every backend must
+			// land on the same state.
+			sum, err := m.Summary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(sum.Marginals, ref.Marginals()); d > kernelTol {
+				t.Fatalf("fused marginals off by %v", d)
+			}
+			if d := math.Abs(sum.EntropyBits - ref.Entropy()); d > kernelTol {
+				t.Fatalf("fused entropy off by %v", d)
+			}
+			refState, refMass := ref.MAP()
+			if sum.MAPState != refState {
+				t.Fatalf("fused MAP state %v, want %v", sum.MAPState, refState)
+			}
+			if d := math.Abs(sum.MAPMass - refMass); d > kernelTol {
+				t.Fatalf("fused MAP mass off by %v", d)
+			}
+			if d := math.Abs(sum.ExpectedInfected - ref.ExpectedInfected()); d > kernelTol {
+				t.Fatalf("fused E[|S|] off by %v", d)
+			}
+			if d := math.Abs(sum.Mass - ref.Mass()); d > kernelTol {
+				t.Fatalf("fused mass off by %v", d)
+			}
 		})
 	}
 }

@@ -66,9 +66,25 @@ func (d *Dense) PrefixNegMasses(order []int) ([]float64, error) {
 // Entropy returns the posterior entropy in bits.
 func (d *Dense) Entropy() (float64, error) { return d.m.Entropy(), nil }
 
+// Summary returns the fused one-pass posterior digest.
+func (d *Dense) Summary() (*Summary, error) {
+	s := d.m.Summary()
+	return &Summary{
+		Marginals:        s.Marginals,
+		EntropyBits:      s.EntropyBits,
+		MAPState:         s.MAPState,
+		MAPMass:          s.MAPMass,
+		ExpectedInfected: s.ExpectedInfected,
+		Mass:             s.Mass,
+	}, nil
+}
+
 // Condition collapses subject onto a known status; see Model.Condition.
+// The interface transfers ownership on success, so the dense backend uses
+// the in-place collapse: the lattice storage is reused rather than
+// reallocated, and on rejection (nil, nil) the receiver is untouched.
 func (d *Dense) Condition(subject int, positive bool) (Model, error) {
-	out := d.m.Condition(subject, positive)
+	out := d.m.ConditionInPlace(subject, positive)
 	if out == nil {
 		return nil, nil
 	}

@@ -14,8 +14,8 @@ type instrumented struct {
 	m   Model
 	reg *obs.Registry
 
-	update, marginals, negMasses, prefix, entropy, condition *obs.Histogram
-	errs                                                     *obs.Counter
+	update, marginals, negMasses, prefix, entropy, summary, condition *obs.Histogram
+	errs                                                              *obs.Counter
 }
 
 // Instrument wraps m so that Update, Marginals, NegMasses,
@@ -44,6 +44,7 @@ func Instrument(m Model, reg *obs.Registry) Model {
 		negMasses: hist("neg_masses"),
 		prefix:    hist("prefix_neg_masses"),
 		entropy:   hist("entropy"),
+		summary:   hist("summary"),
 		condition: hist("condition"),
 		errs:      reg.Counter("sbgt_posterior_op_errors_total", backend),
 	}
@@ -67,11 +68,11 @@ func Base(m Model) Model {
 // Base and errors.As-style capability probes.
 func (w *instrumented) Unwrap() Model { return w.m }
 
-func (w *instrumented) N() int                     { return w.m.N() }
-func (w *instrumented) Kind() Kind                 { return w.m.Kind() }
-func (w *instrumented) Risks() []float64           { return w.m.Risks() }
+func (w *instrumented) N() int                      { return w.m.N() }
+func (w *instrumented) Kind() Kind                  { return w.m.Kind() }
+func (w *instrumented) Risks() []float64            { return w.m.Risks() }
 func (w *instrumented) Response() dilution.Response { return w.m.Response() }
-func (w *instrumented) Tests() int                 { return w.m.Tests() }
+func (w *instrumented) Tests() int                  { return w.m.Tests() }
 
 // fail counts an error without branching at every call site.
 func (w *instrumented) fail(err error) error {
@@ -112,6 +113,13 @@ func (w *instrumented) Entropy() (float64, error) {
 	stop := w.entropy.Time()
 	defer stop()
 	v, err := w.m.Entropy()
+	return v, w.fail(err)
+}
+
+func (w *instrumented) Summary() (*Summary, error) {
+	stop := w.summary.Time()
+	defer stop()
+	v, err := w.m.Summary()
 	return v, w.fail(err)
 }
 

@@ -80,6 +80,11 @@ type Model interface {
 	PrefixNegMasses(order []int) ([]float64, error)
 	// Entropy returns the posterior entropy in bits.
 	Entropy() (float64, error)
+	// Summary computes marginals, entropy, MAP state, expected-infected,
+	// and total posterior mass together in one fused pass — the per-round
+	// digest sessions read between tests, at one sweep of memory traffic
+	// instead of four.
+	Summary() (*Summary, error)
 
 	// Condition collapses subject onto a known status and returns the
 	// reduced model over the remaining N−1 subjects. It returns (nil, nil)
@@ -97,6 +102,25 @@ type Model interface {
 	// Close releases backend resources (connections, local executors).
 	// In-process backends are no-ops. Close is idempotent.
 	Close() error
+}
+
+// Summary is the fused one-pass posterior digest: the statistics every
+// session round reads between tests, computed together so the posterior
+// is swept once. Each field matches the corresponding single-statistic
+// kernel bit-for-bit (same reduction shapes, same deterministic merges).
+type Summary struct {
+	// Marginals is each subject's posterior infection probability.
+	Marginals []float64
+	// EntropyBits is the Shannon entropy of the posterior in bits.
+	EntropyBits float64
+	// MAPState is the maximum-a-posteriori state (ties break to the
+	// lowest state index) and MAPMass its posterior mass.
+	MAPState bitvec.Mask
+	MAPMass  float64
+	// ExpectedInfected is E[|S|], the expected number of infected.
+	ExpectedInfected float64
+	// Mass is the total posterior mass (≈1 between updates).
+	Mass float64
 }
 
 // Snapshot is a backend-tagged capture of a posterior, the unit

@@ -65,6 +65,19 @@ func (s *Sparse) PrefixNegMasses(order []int) ([]float64, error) {
 // Entropy returns the posterior entropy in bits over the retained support.
 func (s *Sparse) Entropy() (float64, error) { return s.m.Entropy(), nil }
 
+// Summary returns the fused one-pass digest over the retained support.
+func (s *Sparse) Summary() (*Summary, error) {
+	d := s.m.Summary()
+	return &Summary{
+		Marginals:        d.Marginals,
+		EntropyBits:      d.EntropyBits,
+		MAPState:         d.MAPState,
+		MAPMass:          d.MAPMass,
+		ExpectedInfected: d.ExpectedInfected,
+		Mass:             d.Mass,
+	}, nil
+}
+
 // Condition collapses subject onto a known status; see Model.Condition.
 func (s *Sparse) Condition(subject int, positive bool) (Model, error) {
 	out := s.m.Condition(subject, positive)

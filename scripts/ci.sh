@@ -30,8 +30,8 @@ go test ./internal/analysis -run xxx -fuzz FuzzAllowParser -fuzztime 10s
 go test ./internal/analysis -run xxx -fuzz FuzzBaselineReader -fuzztime 10s
 
 echo '== bench smoke (quick, vs committed baseline, 5x bound) =='
-go run ./cmd/sbgt-bench -exp T1,F6 -quick -baseline BENCH_new.json > /dev/null
-go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_0.json BENCH_new.json
+go run ./cmd/sbgt-bench -exp T1,F6,A5 -quick -baseline BENCH_new.json > /dev/null
+go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_1.json BENCH_new.json
 rm -f BENCH_new.json
 
 echo 'CI gate passed.'
