@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint vet race fuzz ci bench-baseline bench-check
+.PHONY: build test lint vet race fuzz ci bench-baseline bench-check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -31,15 +31,17 @@ fuzz:
 	$(GO) test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fuzztime 10s
 	$(GO) test ./internal/analysis -run xxx -fuzz FuzzAllowParser -fuzztime 10s
 	$(GO) test ./internal/analysis -run xxx -fuzz FuzzBaselineReader -fuzztime 10s
+	$(GO) test ./internal/core -run xxx -fuzz FuzzSessionCheckpointLoad -fuzztime 10s
 
 # Perf-regression harness (the BENCH trajectory). BENCH_EXPS picks the
 # experiments, BENCH_RATIO the slowdown bound sbgt-benchdiff applies,
-# BENCH_FILE the committed baseline being tracked (BENCH_1.json is the
-# current head of the trajectory; BENCH_0.json is the pre-kernel-layer
-# seed it is diffed against in EXPERIMENTS.md).
-BENCH_EXPS ?= T1,F6,A5
+# BENCH_FILE the committed baseline being tracked (BENCH_2.json is the
+# current head of the trajectory, adding the S1 serve load experiment;
+# BENCH_1.json and BENCH_0.json are the earlier points it is diffed
+# against in EXPERIMENTS.md).
+BENCH_EXPS ?= T1,F6,A5,S1
 BENCH_RATIO ?= 1.5
-BENCH_FILE ?= BENCH_1.json
+BENCH_FILE ?= BENCH_2.json
 
 # Record the committed baseline: run the bench experiments quick and
 # write $(BENCH_FILE) (wall times + registry snapshot + git SHA).
@@ -51,6 +53,12 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/sbgt-bench -exp $(BENCH_EXPS) -quick -baseline BENCH_new.json >/dev/null
 	$(GO) run ./cmd/sbgt-benchdiff -ratio $(BENCH_RATIO) $(BENCH_FILE) BENCH_new.json
+
+# End-to-end smoke of the surveillance service: boot sbgt-serve, drive
+# cohorts to classification over HTTP, scrape /metrics, SIGTERM-drain,
+# and require a clean exit with the open cohort checkpointed.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The full gate, identical to .github/workflows/ci.yml.
 ci:

@@ -107,6 +107,7 @@ func registry() []experiment {
 		{"A3", "ablation: halving candidate set (prefix vs +local-search)", runA3},
 		{"A4", "ablation: cohort assignment (sorted vs contiguous binning)", runA4},
 		{"A5", "ablation: structure-aware kernels (sub-lattice, radix, tiling, fusion)", runA5},
+		{"S1", "sbgt-serve loopback load (concurrent cohorts, exact p50/p99 latency)", runS1},
 	}
 }
 

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/serve"
+)
+
+// runS1 measures the sbgt-serve request path end to end: an in-process
+// server hosting thousands of concurrent cohorts on the loopback
+// interface, driven to classification by the load client. The reported
+// p50/p99 are exact request-latency percentiles over every request of
+// the run, and the run itself re-verifies correctness — zero lost or
+// double-absorbed results, zero misclassifications under the Ideal
+// response. Quick runs a few hundred cohorts; the full run sustains the
+// 10k-cohort population the service is sized for, with residency bounded
+// far below the population so the evict/restore path carries real load.
+func runS1(c *ctx) error {
+	cohorts, maxResident, workers := 10000, 512, 128
+	if c.quick {
+		cohorts, maxResident, workers = 300, 64, 32
+	}
+
+	pool := c.newPool(c.workers)
+	defer pool.Close()
+	dir, err := os.MkdirTemp("", "sbgt-serve-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	mgr, err := serve.NewManager(serve.ManagerConfig{
+		Pool:        pool,
+		Dir:         dir,
+		MaxResident: maxResident,
+		MaxCohorts:  cohorts * 2,
+		Obs:         c.obs,
+	})
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           serve.NewServer(serve.ServerConfig{Manager: mgr, MaxInflight: 1024, Obs: c.obs}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }() //lint:allow goroutineleak serveErr is buffered; the single send cannot block
+	defer srv.Close()
+
+	report, err := serve.RunLoad(serve.LoadConfig{
+		Target:   "http://" + lis.Addr().String(),
+		Cohorts:  cohorts,
+		Subjects: 8,
+		Risk:     0.08,
+		Workers:  workers,
+		Seed:     c.seed,
+	})
+	if err != nil {
+		return err
+	}
+	if report.Misclassified != 0 || report.ResultsSent != report.TestsServer {
+		return errors.New("S1: load run failed verification (lost results or misclassification)")
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	default:
+	}
+
+	// Land the percentiles in the metric snapshot so the BENCH trajectory
+	// tracks them across commits.
+	if c.obs != nil {
+		c.obs.Gauge("sbgt_serve_loadtest_p50_seconds").Set(report.P50.Seconds())
+		c.obs.Gauge("sbgt_serve_loadtest_p99_seconds").Set(report.P99.Seconds())
+		c.obs.Gauge("sbgt_serve_loadtest_requests_per_second").Set(report.Throughput())
+	}
+
+	tab := bench.NewTable("S1: sbgt-serve loopback load (exact percentiles)",
+		"cohorts", "requests", "p50", "p99", "req/s", "elapsed")
+	tab.AddRow(report.Cohorts, report.Requests, report.P50, report.P99,
+		int(report.Throughput()), report.Elapsed.Round(time.Millisecond))
+	return c.emit(tab)
+}

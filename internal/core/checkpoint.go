@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/bitvec"
 	"repro/internal/engine"
 	"repro/internal/halving"
 	"repro/internal/latticeio"
@@ -45,6 +46,13 @@ type sessionHeader struct {
 
 const sessionVersion = 2
 
+// sessionVersionPending tags a checkpoint taken while a ProposePools
+// proposal was outstanding: the posterior payload is followed by one
+// pendingPayload gob message. Sessions with no outstanding proposal keep
+// writing version 2, byte-for-byte identical to the historical format —
+// the new version exists only for the new state.
+const sessionVersionPending = 3
+
 // sparsePayload is the gob-encoded posterior block of a sparse-backed
 // checkpoint: the retained support plus the truncation accounting, the
 // inputs of sparse.Restore.
@@ -52,13 +60,28 @@ type sparsePayload struct {
 	Snapshot posterior.Snapshot
 }
 
+// pendingPayload trails a version-3 checkpoint: the outstanding proposal's
+// pools as model-position masks, in proposal order. The stage counter in
+// the header already counts the open stage; the restored session
+// re-enters the waiting-for-results state with the same pools. The
+// proposal's select wall time is not carried — a restored stage's
+// StageTiming reports Select 0.
+type pendingPayload struct {
+	Pools []bitvec.Mask
+}
+
 // SaveSession checkpoints a mid-campaign session: classifications made so
 // far, the stage/test counters, the test log, and — unless the session is
 // already complete — the live posterior over the still-active subjects.
 // The payload is backend-tagged: dense and cluster posteriors write the
 // latticeio dense format (a cluster posterior is gathered to the driver
-// first), sparse posteriors write their retained support.
+// first), sparse posteriors write their retained support. A session
+// checkpointed while a ProposePools proposal is outstanding additionally
+// records the proposed pools (version 3), so an evicted-and-restored
+// cohort resumes waiting for the same lab results.
 func (s *Session) SaveSession(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	h := sessionHeader{
 		Version:      sessionVersion,
@@ -74,6 +97,9 @@ func (s *Session) SaveSession(w io.Writer) error {
 		MaxStages:    s.cfg.MaxStages,
 		Parts:        s.cfg.Parts,
 		Done:         s.model == nil,
+	}
+	if s.pend != nil {
+		h.Version = sessionVersionPending
 	}
 	var snap *posterior.Snapshot
 	if s.model != nil {
@@ -101,6 +127,11 @@ func (s *Session) SaveSession(w io.Writer) error {
 			return fmt.Errorf("core: cannot checkpoint backend %q", snap.Kind)
 		}
 	}
+	if s.pend != nil {
+		if err := gob.NewEncoder(bw).Encode(&pendingPayload{Pools: s.pend.local}); err != nil {
+			return fmt.Errorf("core: save pending proposal: %w", err)
+		}
+	}
 	return bw.Flush()
 }
 
@@ -121,8 +152,11 @@ func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Se
 	if err := gob.NewDecoder(br).Decode(&h); err != nil {
 		return nil, fmt.Errorf("core: decode session header: %w", err)
 	}
-	if h.Version < 1 || h.Version > sessionVersion {
+	if h.Version < 1 || h.Version > sessionVersionPending {
 		return nil, fmt.Errorf("core: unsupported session checkpoint version %d", h.Version)
+	}
+	if h.Version == sessionVersionPending && h.Done {
+		return nil, fmt.Errorf("core: checkpoint claims a pending proposal on a completed session")
 	}
 	if len(h.Calls) == 0 {
 		return nil, fmt.Errorf("core: checkpoint has no subjects")
@@ -210,6 +244,31 @@ func LoadSession(r io.Reader, pool *engine.Pool, strategy halving.Strategy) (*Se
 			}
 		}
 		s.cfg = full
+		if h.Version == sessionVersionPending {
+			var pp pendingPayload
+			if err := gob.NewDecoder(br).Decode(&pp); err != nil {
+				return nil, fmt.Errorf("core: load pending proposal: %w", err)
+			}
+			if len(pp.Pools) == 0 {
+				return nil, fmt.Errorf("core: pending proposal is empty")
+			}
+			if h.Stage < 1 {
+				return nil, fmt.Errorf("core: pending proposal on stage %d", h.Stage)
+			}
+			cohort := bitvec.Full(model.N())
+			pend := &pending{
+				span:   s.root.Child("stage", obs.A("stage", h.Stage)),
+				timing: StageTiming{Stage: h.Stage},
+			}
+			for i, p := range pp.Pools {
+				if p == 0 || !p.SubsetOf(cohort) {
+					return nil, fmt.Errorf("core: pending pool %d (%v) outside cohort of %d", i, p, model.N())
+				}
+				pend.local = append(pend.local, p)
+				pend.global = append(pend.global, s.globalMask(p))
+			}
+			s.pend = pend
+		}
 	} else {
 		s.cfg = Config{
 			Lookahead:    h.Lookahead,

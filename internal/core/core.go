@@ -14,8 +14,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/bitvec"
@@ -69,6 +71,34 @@ type TestRecord struct {
 // indices) and returns the outcome — in production a LIMS call, in the
 // experiments a workload.Oracle.
 type TestFunc func(pool bitvec.Mask) dilution.Outcome
+
+// Pool is one proposed physical test: the session asks the caller to run
+// a pooled assay over the given subjects and report the outcome back via
+// AbsorbResults. (Stage, Index) is the proposal's identity — results are
+// matched against it, so a late or duplicated lab report can never be
+// absorbed twice or against the wrong stage.
+type Pool struct {
+	Stage int         // 1-based stage this proposal belongs to
+	Index int         // position within the stage's proposal
+	Pool  bitvec.Mask // global subject indices to pool
+}
+
+// TestResult reports one completed physical test back to the session.
+// Stage and Index must match a pool returned by ProposePools. Elapsed,
+// when set, is the wall time of the physical test and is folded into the
+// stage's StageTiming.Test (the session cannot time an out-of-band lab
+// round-trip itself).
+type TestResult struct {
+	Stage   int
+	Index   int
+	Outcome dilution.Outcome
+	Elapsed time.Duration
+}
+
+// ErrNoProposal is returned by AbsorbResults when the session has no
+// outstanding pool proposal — results were already absorbed (a duplicate
+// lab report) or ProposePools was never called.
+var ErrNoProposal = errors.New("core: no outstanding pool proposal")
 
 // Config configures a surveillance session.
 type Config struct {
@@ -201,9 +231,39 @@ func newStagePhases(reg *obs.Registry) stagePhases {
 	}
 }
 
-// Session is one cohort's classification campaign. Not safe for concurrent
-// use; the parallelism lives inside the posterior kernels.
+// pending is an outstanding ProposePools proposal: the stage span stays
+// open across the lab round-trip and the selected pools wait for their
+// results.
+type pending struct {
+	span   *obs.Span
+	timing StageTiming
+	local  []bitvec.Mask // model-position masks, proposal order
+	global []bitvec.Mask // the same pools in global subject indices
+}
+
+// proposals renders the pending pools in the public Pool form.
+func (p *pending) proposals() []Pool {
+	out := make([]Pool, len(p.global))
+	for i, g := range p.global {
+		out[i] = Pool{Stage: p.timing.Stage, Index: i, Pool: g}
+	}
+	return out
+}
+
+// Session is one cohort's classification campaign, driven either
+// synchronously (Step/Run call the test function inline) or as a
+// resumable state machine (ProposePools hands pools out, AbsorbResults
+// folds the lab's answers back in — the shape a long-lived service with
+// out-of-band lab round-trips needs).
+//
+// A Session is not safe for general concurrent use — drive each campaign
+// from one goroutine at a time; the parallelism lives inside the
+// posterior kernels. The exception is Close: it may be called from
+// another goroutine (an eviction or drain path) concurrently with a
+// failed Step/AbsorbResults and with other Close calls, and is
+// idempotent.
 type Session struct {
+	mu      sync.Mutex // guards every field below; held across model kernels
 	cfg     Config
 	model   posterior.Model // nil once every subject is classified (or Close'd)
 	active  []int           // model position -> global subject index
@@ -213,6 +273,7 @@ type Session struct {
 	tests   int
 	entropy []float64 // posterior entropy after each stage (bits)
 	log     []TestRecord
+	pend    *pending // outstanding proposal awaiting results, if any
 	phases  stagePhases
 	root    *obs.Span    // session-lifetime span; stage spans are its children
 	carrier traceCarrier // non-nil when the backend accepts trace contexts
@@ -288,20 +349,43 @@ func NewSessionOn(model posterior.Model, cfg Config) (*Session, error) {
 }
 
 // Done reports whether every subject is classified.
-func (s *Session) Done() bool { return s.model == nil }
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model == nil
+}
 
-// Stage returns the number of completed stages.
-func (s *Session) Stage() int { return s.stage }
+// Stage returns the number of started stages (a stage counts as soon as
+// its pools are proposed).
+func (s *Session) Stage() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stage
+}
 
-// Tests returns the number of physical tests run so far.
-func (s *Session) Tests() int { return s.tests }
+// Tests returns the number of physical tests absorbed so far.
+func (s *Session) Tests() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tests
+}
 
 // Model exposes the live posterior (nil once the session is done).
 // Callers must not mutate it behind the session's back.
-func (s *Session) Model() posterior.Model { return s.model }
+func (s *Session) Model() posterior.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
 
 // Remaining returns the number of unclassified subjects.
 func (s *Session) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remainingLocked()
+}
+
+func (s *Session) remainingLocked() int {
 	if s.model == nil {
 		return 0
 	}
@@ -310,9 +394,21 @@ func (s *Session) Remaining() int {
 
 // Close releases the posterior of a session that is being abandoned
 // mid-campaign (the backend may hold connections or local executors).
-// The session reads as Done afterwards. Idempotent; completed sessions
-// are already closed.
+// The session reads as Done afterwards. Idempotent, and safe to call
+// concurrently with another Close or after a failed Step/AbsorbResults —
+// the eviction and drain paths of a session manager Close from their own
+// goroutines.
 func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Session) closeLocked() error {
+	if s.pend != nil {
+		s.pend.span.End() // an abandoned proposal's stage span ends with the session
+		s.pend = nil
+	}
 	s.root.End() // idempotent; records the session span on first close
 	if s.model == nil {
 		return nil
@@ -334,6 +430,12 @@ func (s *Session) setCarrierContext(tc obs.TraceContext) {
 // Unclassified subjects have StatusUnknown and their marginal as of the
 // last completed stage.
 func (s *Session) Classifications() []Classification {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.classificationsLocked()
+}
+
+func (s *Session) classificationsLocked() []Classification {
 	out := make([]Classification, len(s.calls))
 	copy(out, s.calls)
 	if s.model != nil {
@@ -353,27 +455,37 @@ func (s *Session) globalMask(m bitvec.Mask) bitvec.Mask {
 	return out
 }
 
-// Step runs one stage: select pools, run them through test, absorb the
-// outcomes, and classify every subject whose marginal crossed a threshold.
-// It is a no-op when the session is done.
-func (s *Session) Step(test TestFunc) error {
-	if s.Done() {
-		return nil
+// ProposePools starts the next stage: it runs the selection strategy and
+// returns the pools the caller must run through the physical assay,
+// leaving the session waiting for AbsorbResults. While a proposal is
+// outstanding, ProposePools is idempotent — it returns the same pools
+// again without re-selecting, so a client that lost the response can
+// simply re-ask. It returns (nil, nil) once the session is done.
+func (s *Session) ProposePools() ([]Pool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proposeLocked()
+}
+
+func (s *Session) proposeLocked() ([]Pool, error) {
+	if s.model == nil {
+		return nil, nil
 	}
-	if test == nil {
-		return fmt.Errorf("core: nil test function")
+	if s.pend != nil {
+		return s.pend.proposals(), nil
 	}
 	span := s.root.Child("stage", obs.A("stage", s.stage+1))
-	defer span.End()
-	// Each phase re-points the backend's RPC spans at its own child span;
-	// after the stage they fall back to the session root, covering any
-	// between-stage backend calls.
-	defer s.setCarrierContext(s.root.Context())
 	timing := StageTiming{Stage: s.stage + 1}
-	defer func() {
+	// A failed selection mirrors the historical Step error path: the stage
+	// span ends, the carrier falls back to the session root, and the
+	// timing row is recorded with the phases measured so far.
+	fail := func(err error) ([]Pool, error) {
 		s.timings = append(s.timings, timing)
 		s.phases.stages.Inc()
-	}()
+		s.setCarrierContext(s.root.Context())
+		span.End()
+		return nil, err
+	}
 
 	sel := span.Child("select")
 	s.setCarrierContext(sel.Context())
@@ -389,7 +501,7 @@ func (s *Session) Step(test TestFunc) error {
 		p, err := s.cfg.Strategy.Next(s.model)
 		if err != nil {
 			sel.End()
-			return fmt.Errorf("core: strategy %s: %w", s.cfg.Strategy.Name(), err)
+			return fail(fmt.Errorf("core: strategy %s: %w", s.cfg.Strategy.Name(), err))
 		}
 		pools = []bitvec.Mask{p}
 	}
@@ -398,20 +510,84 @@ func (s *Session) Step(test TestFunc) error {
 
 	s.stage++
 	timing.Stage = s.stage
+	pend := &pending{span: span, timing: timing}
 	for _, p := range pools {
 		if p == 0 {
-			return fmt.Errorf("core: strategy %s selected an empty pool", s.cfg.Strategy.Name())
+			return fail(fmt.Errorf("core: strategy %s selected an empty pool", s.cfg.Strategy.Name()))
 		}
-		gp := s.globalMask(p)
-		ts := span.Child("test")
-		y := test(gp)
-		timing.Test += ts.End()
+		pend.local = append(pend.local, p)
+		pend.global = append(pend.global, s.globalMask(p))
+	}
+	s.pend = pend
+	return pend.proposals(), nil
+}
+
+// AbsorbResults folds the outcomes of the currently proposed pools into
+// the posterior and classifies every subject whose marginal crossed a
+// threshold, completing the stage ProposePools opened. Results may arrive
+// in any order but must cover the proposal exactly: every (Stage, Index)
+// once, no extras. A malformed batch is rejected without touching the
+// posterior — the proposal stays outstanding, so the caller can resubmit.
+// With no outstanding proposal it returns ErrNoProposal (a duplicate
+// submission can never be absorbed twice); on a done session it returns
+// nil, mirroring Step.
+func (s *Session) AbsorbResults(results []TestResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.absorbLocked(results)
+}
+
+func (s *Session) absorbLocked(results []TestResult) error {
+	if s.model == nil {
+		return nil
+	}
+	if s.pend == nil {
+		return ErrNoProposal
+	}
+	p := s.pend
+	// Validate the batch against the proposal before mutating anything.
+	if len(results) != len(p.local) {
+		return fmt.Errorf("core: stage %d proposed %d pools, got %d results", s.stage, len(p.local), len(results))
+	}
+	ordered := make([]*TestResult, len(p.local))
+	for i := range results {
+		r := &results[i]
+		if r.Stage != s.stage {
+			return fmt.Errorf("core: result for stage %d, outstanding proposal is stage %d", r.Stage, s.stage)
+		}
+		if r.Index < 0 || r.Index >= len(ordered) {
+			return fmt.Errorf("core: result index %d outside proposal of %d pools", r.Index, len(ordered))
+		}
+		if ordered[r.Index] != nil {
+			return fmt.Errorf("core: duplicate result for stage %d pool %d", r.Stage, r.Index)
+		}
+		ordered[r.Index] = r
+	}
+
+	// The batch is valid: the proposal is consumed exactly once, and from
+	// here the stage completes (or fails) the same way Step always has.
+	s.pend = nil
+	span := p.span
+	timing := &p.timing
+	defer span.End()
+	// Each phase re-points the backend's RPC spans at its own child span;
+	// after the stage they fall back to the session root, covering any
+	// between-stage backend calls.
+	defer s.setCarrierContext(s.root.Context())
+	defer func() {
+		s.timings = append(s.timings, *timing)
+		s.phases.stages.Inc()
+	}()
+
+	for i, lp := range p.local {
+		r := ordered[i]
+		timing.Test += r.Elapsed
 		s.tests++
 		s.phases.tests.Inc()
-		s.log = append(s.log, TestRecord{Stage: s.stage, Pool: gp, Outcome: y})
+		s.log = append(s.log, TestRecord{Stage: s.stage, Pool: p.global[i], Outcome: r.Outcome})
 		us := span.Child("update")
 		s.setCarrierContext(us.Context())
-		err := s.model.Update(p, y)
+		err := s.model.Update(lp, r.Outcome)
 		timing.Update += us.End()
 		if err != nil {
 			return fmt.Errorf("core: stage %d: %w", s.stage, err)
@@ -434,8 +610,59 @@ func (s *Session) Step(test TestFunc) error {
 	return nil
 }
 
+// Outstanding returns the currently proposed pools awaiting results, or
+// nil when the session is idle (between stages) or done. Unlike
+// ProposePools it never starts a new stage.
+func (s *Session) Outstanding() []Pool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pend == nil {
+		return nil
+	}
+	return s.pend.proposals()
+}
+
+// stageTestSpan opens a "test" child span under the outstanding stage
+// span (Step's inline measurement of the test function). It degrades to a
+// root child when no proposal is outstanding — e.g. the session was
+// closed concurrently.
+func (s *Session) stageTestSpan() *obs.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pend != nil {
+		return s.pend.span.Child("test")
+	}
+	return s.root.Child("test")
+}
+
+// Step runs one stage synchronously: select pools, run them through
+// test, absorb the outcomes, and classify every subject whose marginal
+// crossed a threshold. It is ProposePools + AbsorbResults with the lab
+// round-trip inlined, and a no-op when the session is done.
+func (s *Session) Step(test TestFunc) error {
+	if s.Done() {
+		return nil
+	}
+	if test == nil {
+		return fmt.Errorf("core: nil test function")
+	}
+	pools, err := s.ProposePools()
+	if err != nil || pools == nil {
+		return err
+	}
+	results := make([]TestResult, 0, len(pools))
+	for _, p := range pools {
+		ts := s.stageTestSpan()
+		y := test(p.Pool)
+		results = append(results, TestResult{Stage: p.Stage, Index: p.Index, Outcome: y, Elapsed: ts.End()})
+	}
+	return s.AbsorbResults(results)
+}
+
 // StageTimings returns the per-stage phase breakdown recorded so far.
 func (s *Session) StageTimings() []StageTiming {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]StageTiming(nil), s.timings...)
 }
 
@@ -496,7 +723,7 @@ func (s *Session) record(pos int, positive bool, marginal float64, forced bool) 
 	}
 	s.calls[g] = Classification{Subject: g, Status: status, Marginal: marginal, Stage: s.stage, Forced: forced}
 	if s.model.N() == 1 {
-		return s.Close()
+		return s.closeLocked()
 	}
 	reduced, err := s.model.Condition(pos, positive)
 	if err != nil {
@@ -512,7 +739,7 @@ func (s *Session) record(pos int, positive bool, marginal float64, forced bool) 
 			return err
 		}
 		if reduced == nil {
-			return s.Close()
+			return s.closeLocked()
 		}
 	}
 	s.model = reduced
@@ -560,7 +787,7 @@ func (r *Result) Positives() bitvec.Mask {
 func (s *Session) Run(test TestFunc) (*Result, error) {
 	converged := true
 	for !s.Done() {
-		if s.stage >= s.cfg.MaxStages {
+		if s.Stage() >= s.cfg.MaxStages {
 			converged = false
 			if err := s.forceRemaining(); err != nil {
 				return nil, err
@@ -571,20 +798,45 @@ func (s *Session) Run(test TestFunc) (*Result, error) {
 			return nil, err
 		}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resultLocked(converged), nil
+}
+
+// Result assembles the campaign summary from the session's current state
+// — the propose/absorb counterpart of Run's return value. On a completed
+// session it matches what Run would have returned: a campaign converged
+// exactly when no call was forced.
+func (s *Session) Result() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	converged := true
+	for _, c := range s.calls {
+		if c.Forced {
+			converged = false
+			break
+		}
+	}
+	return s.resultLocked(converged)
+}
+
+func (s *Session) resultLocked(converged bool) *Result {
 	return &Result{
-		Classifications: s.Classifications(),
+		Classifications: s.classificationsLocked(),
 		Tests:           s.tests,
 		Stages:          s.stage,
 		Converged:       converged,
 		EntropyTrace:    append([]float64(nil), s.entropy...),
 		Log:             append([]TestRecord(nil), s.log...),
-		StageTimings:    s.StageTimings(),
-	}, nil
+		StageTimings:    append([]StageTiming(nil), s.timings...),
+	}
 }
 
 // forceRemaining classifies every still-unknown subject at the posterior
 // mode. Calls are marked Forced so analyses can separate them.
 func (s *Session) forceRemaining() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for s.model != nil {
 		marg, err := s.model.Marginals()
 		if err != nil {

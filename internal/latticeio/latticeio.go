@@ -160,7 +160,12 @@ func LoadRaw(r io.Reader) ([]float64, dilution.Response, int, []float64, error) 
 	if h.States != uint64(1)<<uint(n) {
 		return nil, nil, 0, nil, fmt.Errorf("latticeio: header claims %d states for %d subjects", h.States, n)
 	}
-	post := make([]float64, h.States)
+	// Grow the posterior chunk by chunk rather than allocating all 2^N
+	// states up front: the header is attacker-controllable (a corrupt or
+	// crafted checkpoint can claim 2^30 states while carrying ten bytes),
+	// and a server restoring evicted cohorts must fail on the short read,
+	// not commit gigabytes to a lie.
+	post := make([]float64, 0, chunkStates)
 	buf := make([]byte, 8*chunkStates)
 	for off := uint64(0); off < h.States; off += chunkStates {
 		end := off + chunkStates
@@ -172,7 +177,7 @@ func LoadRaw(r io.Reader) ([]float64, dilution.Response, int, []float64, error) 
 			return nil, nil, 0, nil, fmt.Errorf("latticeio: read posterior (truncated checkpoint?): %w", err)
 		}
 		for i := uint64(0); i < end-off; i++ {
-			post[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			post = append(post, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
 		}
 	}
 	return h.Risks, h.Response, h.Tests, post, nil

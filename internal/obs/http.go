@@ -17,15 +17,24 @@ import (
 //	/metrics        Prometheus text exposition of the registry
 //	/metrics.json   JSON snapshot of the registry
 //	/healthz        liveness probe (200 "ok")
+//	/readyz         readiness probe (200 "ok", or 503 + reason)
 //	/spans          JSON {"dropped": n, "spans": [...]} of the tracer's
 //	                buffered spans plus its retention-bound eviction count
 //	/debug/pprof/*  net/http/pprof profiles
+//
+// Liveness and readiness are distinct probes: /healthz answers "is the
+// process running" and is always 200, while /readyz answers "should a
+// load balancer route traffic here". An optional readiness func drives
+// /readyz — nil error means ready; a non-nil error serves 503 with the
+// error text as the body, which is how a draining server sheds traffic
+// before its listener closes. With no readiness func /readyz mirrors
+// /healthz (a process with no drain states is always ready).
 //
 // reg and tracer may be nil; the corresponding endpoints then serve
 // empty documents. The mux is standalone (not http.DefaultServeMux), so
 // importing this package never leaks pprof onto a server the caller did
 // not ask for.
-func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+func NewMux(reg *Registry, tracer *Tracer, ready ...func() error) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -54,6 +63,22 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, fn := range ready {
+			if fn == nil {
+				continue
+			}
+			if err := fn(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %v\n", err)
+				return
+			}
+		}
 		if _, err := io.WriteString(w, "ok\n"); err != nil {
 			return
 		}

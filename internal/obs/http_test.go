@@ -2,10 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -186,4 +189,80 @@ func TestMuxConcurrentScrape(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+func TestReadyzDefault(t *testing.T) {
+	// With no readiness func /readyz mirrors /healthz: always 200.
+	srv := httptest.NewServer(NewMux(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+			t.Errorf("GET %s = %d %q, want 200 ok", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestReadyzDrainFlipsTo503(t *testing.T) {
+	// A draining server flips /readyz to 503 (with the reason in the body)
+	// while /healthz stays 200 — the load balancer stops routing but the
+	// orchestrator does not kill the process mid-drain.
+	var draining atomic.Bool
+	ready := func() error {
+		if draining.Load() {
+			return errors.New("draining")
+		}
+		return nil
+	}
+	srv := httptest.NewServer(NewMux(nil, nil, ready))
+	defer srv.Close()
+
+	status := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := status("/readyz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/readyz before drain = %d %q", code, body)
+	}
+	draining.Store(true)
+	code, body := status("/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", code)
+	}
+	if !strings.Contains(body, "draining") {
+		t.Errorf("/readyz body %q does not carry the reason", body)
+	}
+	if code, _ := status("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200 (liveness is not readiness)", code)
+	}
+	draining.Store(false)
+	if code, _ := status("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after drain = %d, want 200", code)
+	}
+}
+
+func TestReadyzNilFunc(t *testing.T) {
+	// A nil entry in the readiness chain is skipped, not dereferenced.
+	srv := httptest.NewServer(NewMux(nil, nil, nil, func() error { return nil }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200", resp.StatusCode)
+	}
 }

@@ -1,0 +1,576 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Manager errors the HTTP layer maps onto status codes.
+var (
+	// ErrNotFound: the cohort ID does not exist (404).
+	ErrNotFound = errors.New("serve: cohort not found")
+	// ErrDraining: the server is shutting down and admits no work (503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrBusy: the cohort admission bound is reached (429).
+	ErrBusy = errors.New("serve: at capacity")
+	// ErrTenantLimit: the per-tenant admission bound is reached (429).
+	ErrTenantLimit = errors.New("serve: tenant at capacity")
+)
+
+// ManagerConfig sizes a session manager.
+type ManagerConfig struct {
+	// Pool is the shared compute substrate every resident posterior
+	// updates on. Required.
+	Pool *engine.Pool
+	// Dir is where idle cohorts are checkpointed. Required.
+	Dir string
+	// MaxResident bounds how many posteriors stay in memory at once;
+	// admitting or restoring past the bound evicts the least-recently-used
+	// cohort to disk first. Zero means 256.
+	MaxResident int
+	// MaxCohorts bounds the total population, resident plus checkpointed.
+	// Zero means 65536.
+	MaxCohorts int
+	// MaxPerTenant bounds one tenant's share of MaxCohorts. Zero means no
+	// per-tenant bound.
+	MaxPerTenant int
+	// IdleAfter is how long a cohort may sit untouched before the
+	// background sweep checkpoints it to disk. Zero means 5 minutes.
+	IdleAfter time.Duration
+	// Obs and Tracer instrument the sessions and the manager itself; nil
+	// disables. Log receives lifecycle events (nil = discard).
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+	Log    *slog.Logger
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// cohort is one campaign under management. mu serializes every session
+// operation (propose, absorb, checkpoint, restore, close) so a request
+// and an eviction never interleave inside the session; sess is nil while
+// the cohort lives on disk.
+type cohort struct {
+	id     string
+	tenant string
+
+	mu       sync.Mutex
+	sess     *core.Session
+	lastUsed time.Time
+	deleted  bool
+}
+
+// Manager owns the cohort population: admission, residency, idle
+// eviction, restore-on-demand, and drain. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu        sync.Mutex
+	cohorts   map[string]*cohort
+	perTenant map[string]int
+	seq       uint64
+	draining  atomic.Bool
+	resident  atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+
+	mCreated  *obs.Counter
+	mEvicted  *obs.Counter
+	mRestored *obs.Counter
+	mRejected *obs.Counter
+	mResults  *obs.Counter
+	mResident *obs.Gauge
+	mCohorts  *obs.Gauge
+}
+
+// NewManager starts a session manager (including its background idle
+// sweep). Close or Drain stops it.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("serve: ManagerConfig.Pool is required")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: ManagerConfig.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	if cfg.MaxResident <= 0 {
+		cfg.MaxResident = 256
+	}
+	if cfg.MaxCohorts <= 0 {
+		cfg.MaxCohorts = 65536
+	}
+	if cfg.IdleAfter <= 0 {
+		cfg.IdleAfter = 5 * time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	cfg.Log = obs.OrNop(cfg.Log)
+	m := &Manager{
+		cfg:       cfg,
+		cohorts:   make(map[string]*cohort),
+		perTenant: make(map[string]int),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	// Re-register checkpoints a predecessor left behind (a drained server
+	// writes every cohort to Dir): the cohorts come back lazily — each
+	// stays on disk until its first request restores it. Tenant labels do
+	// not survive a restart (they live in the manager, not the checkpoint);
+	// recovered cohorts count against the global bound but not a tenant's.
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		id, ok := strings.CutSuffix(name, ".ckpt")
+		if !ok || e.IsDir() {
+			continue
+		}
+		m.cohorts[id] = &cohort{id: id, lastUsed: cfg.Clock()}
+		var n uint64
+		if _, err := fmt.Sscanf(id, "c%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	if len(m.cohorts) > 0 {
+		cfg.Log.Info("serve: recovered checkpointed cohorts", "count", len(m.cohorts))
+	}
+	if reg := cfg.Obs; reg != nil {
+		m.mCreated = reg.Counter("sbgt_serve_cohorts_created_total")
+		m.mEvicted = reg.Counter("sbgt_serve_evictions_total")
+		m.mRestored = reg.Counter("sbgt_serve_restores_total")
+		m.mRejected = reg.Counter("sbgt_serve_admission_rejected_total")
+		m.mResults = reg.Counter("sbgt_serve_results_total")
+		m.mResident = reg.Gauge("sbgt_serve_cohorts_resident")
+		m.mCohorts = reg.Gauge("sbgt_serve_cohorts")
+	}
+	go m.sweep() //lint:allow concurrency the sweep is a timer loop, not lattice work; it exits via m.stop in Close and Drain
+	return m, nil
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func gaugeAdd(g *obs.Gauge, d float64) {
+	if g != nil {
+		g.Add(d)
+	}
+}
+
+// sweep periodically checkpoints cohorts idle past IdleAfter.
+func (m *Manager) sweep() {
+	defer close(m.done)
+	tick := time.NewTicker(m.cfg.IdleAfter / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			cutoff := m.cfg.Clock().Add(-m.cfg.IdleAfter)
+			for _, c := range m.snapshot() {
+				select {
+				case <-m.stop:
+					return
+				default:
+				}
+				m.evictIfIdle(c, cutoff)
+			}
+		}
+	}
+}
+
+// snapshot returns the current cohort list without holding the map lock
+// during per-cohort work.
+func (m *Manager) snapshot() []*cohort {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*cohort, 0, len(m.cohorts))
+	for _, c := range m.cohorts {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (m *Manager) evictIfIdle(c *cohort, cutoff time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == nil || c.deleted || c.lastUsed.After(cutoff) {
+		return
+	}
+	if err := m.checkpointLocked(c); err != nil {
+		m.cfg.Log.Error("serve: idle eviction failed", "cohort", c.id, "err", err)
+	}
+}
+
+// checkpointLocked writes c's session to disk and releases the resident
+// posterior. Caller holds c.mu and c.sess != nil.
+func (m *Manager) checkpointLocked(c *cohort) error {
+	f, err := os.CreateTemp(m.cfg.Dir, c.id+".tmp*")
+	if err != nil {
+		return err
+	}
+	err = c.sess.SaveSession(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), m.path(c.id))
+	}
+	if err != nil {
+		os.Remove(f.Name()) //lint:allow errcheck best-effort cleanup of a temp file we are abandoning
+		return err
+	}
+	if cerr := c.sess.Close(); cerr != nil {
+		m.cfg.Log.Warn("serve: close after checkpoint", "cohort", c.id, "err", cerr)
+	}
+	c.sess = nil
+	m.resident.Add(-1)
+	gaugeAdd(m.mResident, -1)
+	inc(m.mEvicted)
+	m.cfg.Log.Debug("serve: cohort checkpointed", "cohort", c.id)
+	return nil
+}
+
+func (m *Manager) path(id string) string {
+	return filepath.Join(m.cfg.Dir, id+".ckpt")
+}
+
+// restoreLocked loads c's session back from disk. Caller holds c.mu and
+// c.sess == nil.
+func (m *Manager) restoreLocked(c *cohort) error {
+	f, err := os.Open(m.path(c.id))
+	if err != nil {
+		return fmt.Errorf("serve: restore %s: %w", c.id, err)
+	}
+	defer f.Close()
+	sess, err := core.LoadSession(f, m.cfg.Pool, nil)
+	if err != nil {
+		return fmt.Errorf("serve: restore %s: %w", c.id, err)
+	}
+	c.sess = sess
+	m.resident.Add(1)
+	gaugeAdd(m.mResident, 1)
+	inc(m.mRestored)
+	m.cfg.Log.Debug("serve: cohort restored", "cohort", c.id)
+	return nil
+}
+
+// makeRoom evicts least-recently-used resident cohorts until the
+// resident count is back under MaxResident. Called outside any cohort
+// lock.
+func (m *Manager) makeRoom() {
+	for m.resident.Load() > int64(m.cfg.MaxResident) {
+		var victim *cohort
+		var oldest time.Time
+		for _, c := range m.snapshot() {
+			c.mu.Lock()
+			live := c.sess != nil && !c.deleted
+			used := c.lastUsed
+			c.mu.Unlock()
+			if live && (victim == nil || used.Before(oldest)) {
+				victim, oldest = c, used
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		if victim.sess != nil && !victim.deleted {
+			if err := m.checkpointLocked(victim); err != nil {
+				m.cfg.Log.Error("serve: LRU eviction failed", "cohort", victim.id, "err", err)
+				victim.mu.Unlock()
+				return
+			}
+		}
+		victim.mu.Unlock()
+	}
+}
+
+// lookup finds a cohort by ID.
+func (m *Manager) lookup(id string) (*cohort, error) {
+	m.mu.Lock()
+	c, ok := m.cohorts[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+// withSession runs fn with the cohort resident and its lock held,
+// restoring from disk first when needed. LRU pressure from a restore is
+// relieved after the cohort lock drops — makeRoom locks other cohorts,
+// and this one is now the most recently used, so it is not the victim.
+func (m *Manager) withSession(id string, fn func(*core.Session) error) error {
+	c, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	restored, err := func() (bool, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.deleted {
+			return false, ErrNotFound
+		}
+		restored := false
+		if c.sess == nil {
+			if err := m.restoreLocked(c); err != nil {
+				return false, err
+			}
+			restored = true
+		}
+		c.lastUsed = m.cfg.Clock()
+		return restored, fn(c.sess)
+	}()
+	if restored {
+		m.makeRoom()
+	}
+	return err
+}
+
+// Create admits a new cohort and returns its ID.
+func (m *Manager) Create(req CreateCohortRequest) (string, error) {
+	if m.draining.Load() {
+		return "", ErrDraining
+	}
+	resp, err := req.Response.Response()
+	if err != nil {
+		return "", err
+	}
+
+	m.mu.Lock()
+	if len(m.cohorts) >= m.cfg.MaxCohorts {
+		m.mu.Unlock()
+		inc(m.mRejected)
+		return "", ErrBusy
+	}
+	if m.cfg.MaxPerTenant > 0 && m.perTenant[req.Tenant] >= m.cfg.MaxPerTenant {
+		m.mu.Unlock()
+		inc(m.mRejected)
+		return "", fmt.Errorf("%w: tenant %q", ErrTenantLimit, req.Tenant)
+	}
+	m.seq++
+	id := fmt.Sprintf("c%08d", m.seq)
+	c := &cohort{id: id, tenant: req.Tenant, lastUsed: m.cfg.Clock()}
+	m.cohorts[id] = c
+	m.perTenant[req.Tenant]++
+	m.mu.Unlock()
+
+	sess, err := core.NewSession(m.cfg.Pool, core.Config{
+		Risks:        req.Risks,
+		Response:     resp,
+		Lookahead:    req.Lookahead,
+		PosThreshold: req.PosThreshold,
+		NegThreshold: req.NegThreshold,
+		MaxStages:    req.MaxStages,
+		Obs:          m.cfg.Obs,
+		Tracer:       m.cfg.Tracer,
+	})
+	if err != nil {
+		m.drop(c)
+		return "", err
+	}
+	c.mu.Lock()
+	c.sess = sess
+	c.mu.Unlock()
+	m.resident.Add(1)
+	gaugeAdd(m.mResident, 1)
+	gaugeAdd(m.mCohorts, 1)
+	inc(m.mCreated)
+	m.makeRoom()
+	m.cfg.Log.Debug("serve: cohort created", "cohort", id, "tenant", req.Tenant, "subjects", len(req.Risks))
+	return id, nil
+}
+
+// drop removes a cohort from the maps (bookkeeping only).
+func (m *Manager) drop(c *cohort) {
+	m.mu.Lock()
+	delete(m.cohorts, c.id)
+	if m.perTenant[c.tenant] <= 1 {
+		delete(m.perTenant, c.tenant)
+	} else {
+		m.perTenant[c.tenant]--
+	}
+	m.mu.Unlock()
+}
+
+// Pools returns the cohort's outstanding lab work, proposing a new stage
+// when none is outstanding. Safe to call repeatedly: a proposal is
+// re-served, not re-made.
+func (m *Manager) Pools(id string) (*PoolsResponse, error) {
+	var out *PoolsResponse
+	err := m.withSession(id, func(s *core.Session) error {
+		pools, err := s.ProposePools()
+		if err != nil {
+			return err
+		}
+		out = &PoolsResponse{ID: id, Done: s.Done(), Stage: s.Stage(), Pools: poolsJSON(pools)}
+		return nil
+	})
+	return out, err
+}
+
+// Submit absorbs one stage of lab results. The batch must answer the
+// outstanding proposal exactly; a rejected batch leaves the proposal
+// open, and a duplicate submission fails with core.ErrNoProposal rather
+// than double-counting evidence.
+func (m *Manager) Submit(id string, results []core.TestResult) error {
+	return m.withSession(id, func(s *core.Session) error {
+		if err := s.AbsorbResults(results); err != nil {
+			return err
+		}
+		if m.mResults != nil {
+			m.mResults.Add(uint64(len(results)))
+		}
+		return nil
+	})
+}
+
+// Status reports a cohort's progress and classifications.
+func (m *Manager) Status(id string) (*StatusResponse, error) {
+	var out *StatusResponse
+	err := m.withSession(id, func(s *core.Session) error {
+		out = &StatusResponse{
+			ID:              id,
+			Done:            s.Done(),
+			Stage:           s.Stage(),
+			Tests:           s.Tests(),
+			Remaining:       s.Remaining(),
+			Classifications: classificationsJSON(s.Classifications()),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c, cerr := m.lookup(id); cerr == nil {
+		out.Tenant = c.tenant
+	}
+	return out, err
+}
+
+// Delete closes a cohort and removes its checkpoint.
+func (m *Manager) Delete(id string) error {
+	c, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.deleted {
+		c.mu.Unlock()
+		return ErrNotFound
+	}
+	c.deleted = true
+	if c.sess != nil {
+		if err := c.sess.Close(); err != nil {
+			m.cfg.Log.Warn("serve: close on delete", "cohort", id, "err", err)
+		}
+		c.sess = nil
+		m.resident.Add(-1)
+		gaugeAdd(m.mResident, -1)
+	}
+	c.mu.Unlock()
+	if err := os.Remove(m.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		m.cfg.Log.Warn("serve: remove checkpoint", "cohort", id, "err", err)
+	}
+	m.drop(c)
+	gaugeAdd(m.mCohorts, -1)
+	return nil
+}
+
+// Ready reports whether the manager should receive traffic — the /readyz
+// hook. It fails while draining.
+func (m *Manager) Ready() error {
+	if m.draining.Load() {
+		return ErrDraining
+	}
+	return nil
+}
+
+// Drain stops admission, halts the idle sweep, and checkpoints every
+// resident cohort to disk so a successor process can restore them. It
+// returns how many cohorts were checkpointed. Idempotent.
+func (m *Manager) Drain() (int, error) {
+	if m.draining.Swap(true) {
+		<-m.done
+		return 0, nil
+	}
+	close(m.stop)
+	<-m.done
+	n := 0
+	var first error
+	for _, c := range m.snapshot() {
+		c.mu.Lock()
+		if c.sess != nil && !c.deleted {
+			if err := m.checkpointLocked(c); err != nil {
+				m.cfg.Log.Error("serve: drain checkpoint failed", "cohort", c.id, "err", err)
+				if first == nil {
+					first = err
+				}
+			} else {
+				n++
+			}
+		}
+		c.mu.Unlock()
+	}
+	m.cfg.Log.Info("serve: drained", "checkpointed", n)
+	return n, first
+}
+
+// Close releases the manager without checkpointing: the idle sweep stops
+// and every resident session is closed. Use Drain first when state must
+// survive. Idempotent.
+func (m *Manager) Close() error {
+	if !m.draining.Swap(true) {
+		close(m.stop)
+	}
+	<-m.done
+	for _, c := range m.snapshot() {
+		c.mu.Lock()
+		if c.sess != nil {
+			c.sess.Close() //lint:allow errcheck teardown of a session we are abandoning
+			c.sess = nil
+			m.resident.Add(-1)
+			gaugeAdd(m.mResident, -1)
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Cohorts lists the managed cohort IDs in ID order — a diagnostic
+// surface, not a paged API.
+func (m *Manager) Cohorts() []string {
+	cs := m.snapshot()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].id < cs[j].id })
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.id
+	}
+	return out
+}
+
+// Resident reports how many posteriors are currently in memory.
+func (m *Manager) Resident() int { return int(m.resident.Load()) }

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds a request body: the largest legitimate payload is
+// a cohort's worth of risks or one stage of results, both tiny.
+const maxBodyBytes = 1 << 20
+
+// latencyBounds are the request-latency histogram buckets (seconds),
+// tuned for loopback-to-LAN service times.
+var latencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// ServerConfig wires a Server.
+type ServerConfig struct {
+	Manager *Manager
+	// MaxInflight bounds concurrently-served API requests; excess load is
+	// shed with 429 + Retry-After instead of queueing without bound. Zero
+	// means 512.
+	MaxInflight int
+	Obs         *obs.Registry
+	Tracer      *obs.Tracer
+	Log         *slog.Logger
+}
+
+// Server is the sbgt-serve HTTP API:
+//
+//	POST   /v1/cohorts              create a cohort
+//	GET    /v1/cohorts/{id}/pools   next lab work (propose; idempotent)
+//	POST   /v1/cohorts/{id}/results submit one stage of outcomes
+//	GET    /v1/cohorts/{id}         status + classifications
+//	DELETE /v1/cohorts/{id}         close and forget a cohort
+//	POST   /v1/drain                checkpoint everything, stop admitting
+//
+// plus the observability endpoints from obs.NewMux (/metrics,
+// /metrics.json, /healthz, /readyz, /spans, /debug/pprof/*). Readiness
+// follows the manager: /readyz turns 503 the moment a drain starts.
+type Server struct {
+	mgr      *Manager
+	mux      *http.ServeMux
+	log      *slog.Logger
+	tracer   *obs.Tracer
+	inflight chan struct{}
+
+	mRequests *obs.Counter
+	mShed     *obs.Counter
+	mLatency  *obs.Histogram
+}
+
+// NewServer builds the API handler around a manager.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 512
+	}
+	s := &Server{
+		mgr:      cfg.Manager,
+		mux:      obs.NewMux(cfg.Obs, cfg.Tracer, cfg.Manager.Ready),
+		log:      obs.OrNop(cfg.Log),
+		tracer:   cfg.Tracer,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+	}
+	if reg := cfg.Obs; reg != nil {
+		s.mRequests = reg.Counter("sbgt_serve_requests_total")
+		s.mShed = reg.Counter("sbgt_serve_requests_shed_total")
+		s.mLatency = reg.Histogram("sbgt_serve_request_seconds", latencyBounds)
+	}
+	s.mux.HandleFunc("POST /v1/cohorts", s.guard(s.handleCreate))
+	s.mux.HandleFunc("GET /v1/cohorts/{id}/pools", s.guard(s.handlePools))
+	s.mux.HandleFunc("POST /v1/cohorts/{id}/results", s.guard(s.handleResults))
+	s.mux.HandleFunc("GET /v1/cohorts/{id}", s.guard(s.handleStatus))
+	s.mux.HandleFunc("DELETE /v1/cohorts/{id}", s.guard(s.handleDelete))
+	s.mux.HandleFunc("POST /v1/drain", s.guard(s.handleDrain))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s.mux.ServeHTTP(w, req)
+}
+
+// guard wraps an API handler with backpressure, metrics, and a
+// per-request span.
+func (s *Server) guard(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			inc(s.mShed)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, errors.New("serve: too many in-flight requests"))
+			return
+		}
+		inc(s.mRequests)
+		start := time.Now()
+		var span *obs.Span
+		if s.tracer != nil {
+			span = s.tracer.Start("http", obs.A("method", req.Method), obs.A("path", req.URL.Path))
+		}
+		err := h(w, req)
+		if span != nil {
+			if err != nil {
+				span.SetAttr("err", err.Error())
+			}
+			span.End()
+		}
+		if s.mLatency != nil {
+			s.mLatency.Observe(time.Since(start).Seconds())
+		}
+		if err != nil {
+			s.log.Debug("serve: request failed", "method", req.Method, "path", req.URL.Path, "err", err)
+		}
+	}
+}
+
+// writeError emits the uniform JSON error body. Write errors are
+// swallowed: the client hung up and there is no one left to tell.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()}) //lint:allow errcheck client disconnect mid-error-write leaves nothing to recover
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// fail maps a manager/core error onto an HTTP status.
+func fail(w http.ResponseWriter, err error) error {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrTenantLimit):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, core.ErrNoProposal):
+		// A duplicate or premature submission: the state is fine, the
+		// request is out of sequence.
+		status = http.StatusConflict
+	}
+	writeError(w, status, err)
+	return err
+}
+
+func decode(req *http.Request, v any) error {
+	body := http.MaxBytesReader(nil, req.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decode request: %w", err)
+	}
+	// Exactly one JSON document per request.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("serve: trailing data after request body")
+	}
+	return nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) error {
+	var in CreateCohortRequest
+	if err := decode(req, &in); err != nil {
+		return fail(w, err)
+	}
+	id, err := s.mgr.Create(in)
+	if err != nil {
+		return fail(w, err)
+	}
+	return writeJSON(w, http.StatusCreated, CreateCohortResponse{ID: id})
+}
+
+func (s *Server) handlePools(w http.ResponseWriter, req *http.Request) error {
+	out, err := s.mgr.Pools(req.PathValue("id"))
+	if err != nil {
+		return fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) error {
+	id := req.PathValue("id")
+	var in SubmitResultsRequest
+	if err := decode(req, &in); err != nil {
+		return fail(w, err)
+	}
+	if err := s.mgr.Submit(id, resultsFromJSON(in.Results)); err != nil {
+		return fail(w, err)
+	}
+	out, err := s.mgr.Pools(id)
+	if err != nil {
+		return fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) error {
+	out, err := s.mgr.Status(req.PathValue("id"))
+	if err != nil {
+		return fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) error {
+	if err := s.mgr.Delete(req.PathValue("id")); err != nil {
+		return fail(w, err)
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, req *http.Request) error {
+	n, err := s.mgr.Drain()
+	if err != nil {
+		return fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, DrainResponse{Draining: true, Checkpointed: n})
+}
+
+// RetryAfter parses a Retry-After header value in seconds (the only form
+// this server emits); 0 when absent or malformed.
+func RetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -28,10 +28,14 @@ go test ./internal/bitvec -run FuzzBitVecRoundTrip -fuzz FuzzBitVecRoundTrip -fu
 go test ./internal/obs -run FuzzTraceContextRoundTrip -fuzz FuzzTraceContextRoundTrip -fuzztime 10s
 go test ./internal/analysis -run xxx -fuzz FuzzAllowParser -fuzztime 10s
 go test ./internal/analysis -run xxx -fuzz FuzzBaselineReader -fuzztime 10s
+go test ./internal/core -run xxx -fuzz FuzzSessionCheckpointLoad -fuzztime 10s
+
+echo '== serve smoke (boot sbgt-serve, drive over HTTP, drain on SIGTERM) =='
+./scripts/serve_smoke.sh
 
 echo '== bench smoke (quick, vs committed baseline, 5x bound) =='
-go run ./cmd/sbgt-bench -exp T1,F6,A5 -quick -baseline BENCH_new.json > /dev/null
-go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_1.json BENCH_new.json
+go run ./cmd/sbgt-bench -exp T1,F6,A5,S1 -quick -baseline BENCH_new.json > /dev/null
+go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_2.json BENCH_new.json
 rm -f BENCH_new.json
 
 echo 'CI gate passed.'
