@@ -35,13 +35,13 @@ fuzz:
 
 # Perf-regression harness (the BENCH trajectory). BENCH_EXPS picks the
 # experiments, BENCH_RATIO the slowdown bound sbgt-benchdiff applies,
-# BENCH_FILE the committed baseline being tracked (BENCH_2.json is the
-# current head of the trajectory, adding the S1 serve load experiment;
-# BENCH_1.json and BENCH_0.json are the earlier points it is diffed
+# BENCH_FILE the committed baseline being tracked (BENCH_3.json is the
+# current head of the trajectory, adding the S1R observability-overhead
+# experiment; BENCH_2.json and earlier are the points it is diffed
 # against in EXPERIMENTS.md).
-BENCH_EXPS ?= T1,F6,A5,S1
+BENCH_EXPS ?= T1,F6,A5,S1,S1R
 BENCH_RATIO ?= 1.5
-BENCH_FILE ?= BENCH_2.json
+BENCH_FILE ?= BENCH_3.json
 
 # Record the committed baseline: run the bench experiments quick and
 # write $(BENCH_FILE) (wall times + registry snapshot + git SHA).

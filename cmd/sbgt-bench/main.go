@@ -108,6 +108,7 @@ func registry() []experiment {
 		{"A4", "ablation: cohort assignment (sorted vs contiguous binning)", runA4},
 		{"A5", "ablation: structure-aware kernels (sub-lattice, radix, tiling, fusion)", runA5},
 		{"S1", "sbgt-serve loopback load (concurrent cohorts, exact p50/p99 latency)", runS1},
+		{"S1R", "S1 workload with the observability layer on (recorder overhead)", runS1R},
 	}
 }
 

@@ -2,25 +2,33 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
-// runS1 measures the sbgt-serve request path end to end: an in-process
-// server hosting thousands of concurrent cohorts on the loopback
-// interface, driven to classification by the load client. The reported
-// p50/p99 are exact request-latency percentiles over every request of
-// the run, and the run itself re-verifies correctness — zero lost or
-// double-absorbed results, zero misclassifications under the Ideal
-// response. Quick runs a few hundred cohorts; the full run sustains the
-// 10k-cohort population the service is sized for, with residency bounded
-// far below the population so the evict/restore path carries real load.
-func runS1(c *ctx) error {
+// serveObs bundles the optional observability stack for a serve load
+// run: nil fields mean "off", which is the S1 baseline.
+type serveObs struct {
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
+	slo    *obs.SLO
+}
+
+// runServeLoad boots an in-process sbgt-serve on loopback, drives the
+// standard load-client population against it, verifies the run (zero
+// lost results, zero misclassifications), and returns the load report.
+// The same harness backs S1 (observability off) and S1R (flight
+// recorder + tracing + SLO evaluator on), so the two measure exactly
+// the same workload and their percentile delta is the recorder
+// overhead.
+func runServeLoad(c *ctx, o serveObs) (*serve.LoadReport, error) {
 	cohorts, maxResident, workers := 10000, 512, 128
 	if c.quick {
 		cohorts, maxResident, workers = 300, 64, 32
@@ -30,7 +38,7 @@ func runS1(c *ctx) error {
 	defer pool.Close()
 	dir, err := os.MkdirTemp("", "sbgt-serve-bench-*")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer os.RemoveAll(dir)
 	mgr, err := serve.NewManager(serve.ManagerConfig{
@@ -39,18 +47,27 @@ func runS1(c *ctx) error {
 		MaxResident: maxResident,
 		MaxCohorts:  cohorts * 2,
 		Obs:         c.obs,
+		Tracer:      o.tracer,
+		Flight:      o.flight,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer mgr.Close()
 
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	srv := &http.Server{
-		Handler:           serve.NewServer(serve.ServerConfig{Manager: mgr, MaxInflight: 1024, Obs: c.obs}),
+		Handler: serve.NewServer(serve.ServerConfig{
+			Manager:     mgr,
+			MaxInflight: 1024,
+			Obs:         c.obs,
+			Tracer:      o.tracer,
+			Flight:      o.flight,
+			SLO:         o.slo,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	serveErr := make(chan error, 1)
@@ -66,17 +83,36 @@ func runS1(c *ctx) error {
 		Seed:     c.seed,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if report.Misclassified != 0 || report.ResultsSent != report.TestsServer {
-		return errors.New("S1: load run failed verification (lost results or misclassification)")
+		return nil, errors.New("load run failed verification (lost results or misclassification)")
 	}
 	select {
 	case err := <-serveErr:
 		if !errors.Is(err, http.ErrServerClosed) {
-			return err
+			return nil, err
 		}
 	default:
+	}
+	return report, nil
+}
+
+// runS1 measures the sbgt-serve request path end to end: an in-process
+// server hosting thousands of concurrent cohorts on the loopback
+// interface, driven to classification by the load client. The reported
+// p50/p99 are exact request-latency percentiles over every request of
+// the run, and the run itself re-verifies correctness — zero lost or
+// double-absorbed results, zero misclassifications under the Ideal
+// response. Quick runs a few hundred cohorts; the full run sustains the
+// 10k-cohort population the service is sized for, with residency bounded
+// far below the population so the evict/restore path carries real load.
+// S1 runs with the flight recorder, tracer, and SLO evaluator OFF — it
+// is the baseline S1R's overhead is judged against.
+func runS1(c *ctx) error {
+	report, err := runServeLoad(c, serveObs{})
+	if err != nil {
+		return fmt.Errorf("S1: %w", err)
 	}
 
 	// Land the percentiles in the metric snapshot so the BENCH trajectory
@@ -91,5 +127,62 @@ func runS1(c *ctx) error {
 		"cohorts", "requests", "p50", "p99", "req/s", "elapsed")
 	tab.AddRow(report.Cohorts, report.Requests, report.P50, report.P99,
 		int(report.Throughput()), report.Elapsed.Round(time.Millisecond))
+	return c.emit(tab)
+}
+
+// runS1R repeats the S1 workload with the full observability layer live:
+// every request records a flight-recorder event and a span with an
+// exemplar, per-tenant RED series update, and an SLO evaluator diffs the
+// registry once a second. The p50/p99 delta against S1's gauges (both
+// land in the same bench file) is the measured recorder overhead; the
+// budget is ≤2% on p99.
+func runS1R(c *ctx) error {
+	tracer := obs.NewTracer(4096)
+	flight := obs.NewFlightRecorder(0)
+	flight.Instrument(c.obs)
+
+	o := serveObs{tracer: tracer, flight: flight}
+	if c.obs != nil {
+		// A realistic-but-unbreached objective: the evaluator runs every
+		// second and publishes burn gauges, but a loopback p99 sits far under
+		// one second, so the bench never trips an anomaly dump.
+		slo, err := obs.NewSLO(c.obs, flight, []obs.Objective{{
+			Name:     "p99_request",
+			Metric:   "sbgt_serve_request_seconds",
+			Quantile: 0.99,
+			Target:   1.0,
+		}})
+		if err != nil {
+			return fmt.Errorf("S1R: %w", err)
+		}
+		stop := slo.Start(time.Second)
+		defer stop()
+		o.slo = slo
+	}
+
+	report, err := runServeLoad(c, o)
+	if err != nil {
+		return fmt.Errorf("S1R: %w", err)
+	}
+
+	if c.obs != nil {
+		c.obs.Gauge("sbgt_serve_obsload_p50_seconds").Set(report.P50.Seconds())
+		c.obs.Gauge("sbgt_serve_obsload_p99_seconds").Set(report.P99.Seconds())
+		c.obs.Gauge("sbgt_serve_obsload_requests_per_second").Set(report.Throughput())
+	}
+
+	// When S1 ran earlier in this process its gauges hold the baseline;
+	// report the head-to-head overhead inline.
+	overhead := "n/a (run S1 too)"
+	if c.obs != nil {
+		if base := c.obs.Gauge("sbgt_serve_loadtest_p99_seconds").Value(); base > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", (report.P99.Seconds()/base-1)*100)
+		}
+	}
+
+	tab := bench.NewTable("S1R: S1 workload with flight recorder + exemplars + SLO evaluator on",
+		"cohorts", "requests", "p50", "p99", "p99 vs S1", "req/s", "elapsed")
+	tab.AddRow(report.Cohorts, report.Requests, report.P50, report.P99,
+		overhead, int(report.Throughput()), report.Elapsed.Round(time.Millisecond))
 	return c.emit(tab)
 }

@@ -36,6 +36,16 @@
 //	-idle-after duration  idle time before checkpointing a cohort (default 5m)
 //	-workers int          engine workers (0 = GOMAXPROCS)
 //
+// SLO flags (the evaluator runs only when at least one objective is set):
+//
+//	-slo-p99 duration       p99 request-latency objective (0 = off)
+//	-slo-shed-burst int     max sheds per evaluation window (0 = off)
+//	-slo-interval duration  evaluation window (default 10s)
+//	-slo-degrade            flip /readyz to 503 while an objective burns
+//
+// Breaches trigger flight-recorder anomaly auto-dumps (view them on
+// /debug/flight; SIGQUIT dumps the same JSON to stderr without exiting).
+//
 // Load-driver mode:
 //
 //	-loadtest             run the load client instead of the server
@@ -80,6 +90,11 @@ func main() {
 		idleAfter    = flag.Duration("idle-after", 5*time.Minute, "idle time before a cohort is checkpointed")
 		workers      = flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
 
+		sloP99       = flag.Duration("slo-p99", 0, "p99 request-latency objective (0 = off)")
+		sloShedBurst = flag.Int("slo-shed-burst", 0, "max sheds per evaluation window before anomaly (0 = off)")
+		sloInterval  = flag.Duration("slo-interval", 10*time.Second, "SLO evaluation window")
+		sloDegrade   = flag.Bool("slo-degrade", false, "flip /readyz to 503 while an SLO objective burns")
+
 		loadtest    = flag.Bool("loadtest", false, "run the load client instead of the server")
 		target      = flag.String("target", "http://127.0.0.1:8344", "loadtest: server base URL")
 		cohorts     = flag.Int("cohorts", 10000, "loadtest: concurrent cohorts")
@@ -119,6 +134,8 @@ func main() {
 		return
 	}
 
+	rt.DumpFlightOnSIGQUIT()
+
 	pool := engine.NewPool(*workers)
 	defer pool.Close()
 	pool.Instrument(rt.Reg)
@@ -133,9 +150,39 @@ func main() {
 		Obs:          rt.Reg,
 		Tracer:       rt.Tracer,
 		Log:          rt.Log,
+		Flight:       rt.Flight,
 	})
 	if err != nil {
 		rt.Fatal(err)
+	}
+
+	var objectives []obs.Objective
+	if *sloP99 > 0 {
+		objectives = append(objectives, obs.Objective{
+			Name:     "p99_request",
+			Metric:   "sbgt_serve_request_seconds",
+			Quantile: 0.99,
+			Target:   sloP99.Seconds(),
+			Degrade:  *sloDegrade,
+		})
+	}
+	if *sloShedBurst > 0 {
+		objectives = append(objectives, obs.Objective{
+			Name:        "shed_burst",
+			BurstMetric: "sbgt_serve_requests_shed_total",
+			Max:         float64(*sloShedBurst),
+			Degrade:     *sloDegrade,
+		})
+	}
+	var slo *obs.SLO
+	if len(objectives) > 0 {
+		slo, err = obs.NewSLO(rt.Reg, rt.Flight, objectives)
+		if err != nil {
+			rt.Fatal(err)
+		}
+		stop := slo.Start(*sloInterval)
+		defer stop()
+		rt.Log.Info("sbgt-serve: SLO evaluator running", "objectives", len(objectives), "interval", *sloInterval)
 	}
 
 	handler := serve.NewServer(serve.ServerConfig{
@@ -144,6 +191,8 @@ func main() {
 		Obs:         rt.Reg,
 		Tracer:      rt.Tracer,
 		Log:         rt.Log,
+		Flight:      rt.Flight,
+		SLO:         slo,
 	})
 
 	lis, err := net.Listen("tcp", *addr)

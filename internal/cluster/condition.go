@@ -50,7 +50,7 @@ func (m *Model) Condition(subject int, positive bool) (*Model, error) {
 	risks := make([]float64, 0, nn)
 	risks = append(risks, m.risks[:subject]...)
 	risks = append(risks, m.risks[subject+1:]...)
-	out := &Model{conns: m.conns, n: nn, risks: risks, resp: m.resp, tests: m.tests, met: m.met, tracer: m.tracer, parent: m.parent}
+	out := &Model{conns: m.conns, n: nn, risks: risks, resp: m.resp, tests: m.tests, met: m.met, tracer: m.tracer, parent: m.parent, flight: m.flight}
 	m.conns = nil // ownership transfers; the receiver's Close is now a no-op
 
 	// Reassign contiguous shard ranges over the halved lattice. Executors

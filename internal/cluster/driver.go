@@ -93,6 +93,11 @@ type Model struct {
 	// model on Condition, like the connections themselves.
 	tracer *obs.Tracer
 	parent obs.TraceContext
+
+	// flight, when non-nil, receives rpc_error events so the flight
+	// recorder captures which executor failed, on which op, in which
+	// trace — the post-hoc view the aggregate error counters cannot give.
+	flight *obs.FlightScope
 }
 
 // SetTraceContext points subsequent RPC spans at a new parent — the
@@ -126,6 +131,14 @@ func (m *Model) call(c *conn, req Request) (Response, error) {
 		}
 		span.End()
 	}
+	if err != nil {
+		m.flight.Event(obs.Event{
+			Kind:    "rpc_error",
+			TraceID: m.parent.TraceID,
+			Err:     err.Error(),
+			Attrs:   []obs.Attr{obs.A("op", req.Op.String()), obs.A("executor", c.rank), obs.A("addr", c.addr)},
+		})
+	}
 	return resp, err
 }
 
@@ -152,6 +165,10 @@ type DialOptions struct {
 	// the executor spans shipped back in response trailers. Spans are only
 	// emitted once SetTraceContext installs a valid parent context.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, receives structured dial_retry and rpc_error
+	// events — the flight-recorder counterpart of the aggregate retry and
+	// error counters, carrying executor rank, op, and trace identity.
+	Flight *obs.FlightScope
 }
 
 // Dial connects to the executors, shards the lattice across them
@@ -263,12 +280,17 @@ func DialWith(addrs []string, risks []float64, resp dilution.Response, opts Dial
 				errs[i] = fmt.Errorf("cluster: executor %s attempt %d/%d: %w", addr, attempt, attempts, err)
 				if attempt < attempts {
 					met.dialRetry(i)
+					opts.Flight.Event(obs.Event{
+						Kind:  "dial_retry",
+						Err:   err.Error(),
+						Attrs: []obs.Attr{obs.A("executor", i), obs.A("addr", addr), obs.A("attempt", attempt)},
+					})
 				}
 			}
 		}(i, addr, lo, hi)
 	}
 	wg.Wait()
-	m := &Model{conns: make([]*conn, 0, len(addrs)), n: n, risks: append([]float64(nil), risks...), resp: resp, met: met, tracer: opts.Tracer}
+	m := &Model{conns: make([]*conn, 0, len(addrs)), n: n, risks: append([]float64(nil), risks...), resp: resp, met: met, tracer: opts.Tracer, flight: opts.Flight}
 	var firstErr error
 	for i, c := range conns {
 		if c != nil {

@@ -135,6 +135,11 @@ type Config struct {
 	// Tracer, when non-nil, records one span per stage with select / test /
 	// update / classify children.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, receives stage-transition events (proposals,
+	// absorbs, absorb failures) tagged with the session's trace ID — the
+	// flight-recorder view of the campaign. The scope carries the tenant
+	// and cohort identity; core only stamps stage facts onto it.
+	Flight *obs.FlightScope
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -519,6 +524,12 @@ func (s *Session) proposeLocked() ([]Pool, error) {
 		pend.global = append(pend.global, s.globalMask(p))
 	}
 	s.pend = pend
+	s.cfg.Flight.Event(obs.Event{
+		Kind:    "stage_propose",
+		TraceID: s.root.Context().TraceID,
+		Dur:     timing.Select,
+		Attrs:   []obs.Attr{obs.A("stage", s.stage), obs.A("pools", len(pend.local))},
+	})
 	return pend.proposals(), nil
 }
 
@@ -590,6 +601,12 @@ func (s *Session) absorbLocked(results []TestResult) error {
 		err := s.model.Update(lp, r.Outcome)
 		timing.Update += us.End()
 		if err != nil {
+			s.cfg.Flight.Event(obs.Event{
+				Kind:    "absorb_error",
+				TraceID: s.root.Context().TraceID,
+				Err:     err.Error(),
+				Attrs:   []obs.Attr{obs.A("stage", s.stage), obs.A("pool", i)},
+			})
 			return fmt.Errorf("core: stage %d: %w", s.stage, err)
 		}
 	}
@@ -605,8 +622,20 @@ func (s *Session) absorbLocked(results []TestResult) error {
 	timing.Classify = cs.End()
 	s.phases.classify.Observe(timing.Classify.Seconds())
 	if err != nil {
+		s.cfg.Flight.Event(obs.Event{
+			Kind:    "absorb_error",
+			TraceID: s.root.Context().TraceID,
+			Err:     err.Error(),
+			Attrs:   []obs.Attr{obs.A("stage", s.stage), obs.A("phase", "classify")},
+		})
 		return fmt.Errorf("core: stage %d: %w", s.stage, err)
 	}
+	s.cfg.Flight.Event(obs.Event{
+		Kind:    "stage_absorb",
+		TraceID: s.root.Context().TraceID,
+		Dur:     timing.Update + timing.Classify,
+		Attrs:   []obs.Attr{obs.A("stage", s.stage), obs.A("remaining", s.remainingLocked())},
+	})
 	return nil
 }
 

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 )
 
 // CLIFlags bundles the observability flags every sbgt command shares:
@@ -48,12 +51,16 @@ func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
 type Runtime struct {
 	Reg    *Registry
 	Tracer *Tracer
+	Flight *FlightRecorder
 	Log    *slog.Logger
 
 	server   *Server
 	traceOut string
 	cpuOut   *os.File // non-nil while a CPU profile is being collected
 	memOut   string
+
+	readyMu  sync.Mutex
+	readyErr error
 }
 
 // Start materializes the parsed flags into a Runtime. component tags
@@ -66,13 +73,16 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 	rt := &Runtime{
 		Reg:      NewRegistry(),
 		Tracer:   NewTracer(0),
+		Flight:   NewFlightRecorder(0),
 		Log:      log,
 		traceOut: f.TraceOut,
 		memOut:   f.MemProfile,
 	}
 	rt.Tracer.SetDropCounter(rt.Reg.Counter("sbgt_obs_spans_dropped_total"))
+	rt.Flight.Instrument(rt.Reg)
+	rt.Flight.LogDumps(rt.Log)
 	if f.MetricsAddr != "" {
-		rt.server, err = Serve(f.MetricsAddr, rt.Reg, rt.Tracer, rt.Log)
+		rt.server, err = Serve(f.MetricsAddr, rt.Reg, rt.Tracer, rt.Flight, rt.Log, rt.ReadyError)
 		if err != nil {
 			return nil, err
 		}
@@ -90,6 +100,43 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		rt.cpuOut = out
 	}
 	return rt, nil
+}
+
+// SetReadyError flips the runtime's /readyz state: nil means serving,
+// non-nil serves 503 with the error text. Executors flip this to a drain
+// error on SIGTERM so a load balancer (or the driver's redial loop) stops
+// routing to them before the listener closes.
+func (rt *Runtime) SetReadyError(err error) {
+	rt.readyMu.Lock()
+	rt.readyErr = err
+	rt.readyMu.Unlock()
+}
+
+// ReadyError reports the current readiness state (the func form NewMux
+// wants).
+func (rt *Runtime) ReadyError() error {
+	rt.readyMu.Lock()
+	defer rt.readyMu.Unlock()
+	return rt.readyErr
+}
+
+// DumpFlightOnSIGQUIT installs a SIGQUIT handler that writes the flight
+// recorder's snapshot (events + anomaly dumps) to stderr as indented
+// JSON and keeps the process running — kill -QUIT becomes a
+// non-destructive "what just happened" probe. Note this replaces the Go
+// runtime's default SIGQUIT stack dump; /debug/pprof/goroutine still
+// serves stacks when -metrics-addr is set.
+func (rt *Runtime) DumpFlightOnSIGQUIT() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			rt.Log.Info("obs: SIGQUIT received, dumping flight recorder to stderr")
+			if err := rt.Flight.WriteJSON(os.Stderr); err != nil {
+				rt.Log.Error("obs: flight dump failed", "err", err)
+			}
+		}
+	}()
 }
 
 // MetricsAddr reports the bound metrics address ("" when disabled) —

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured flight-recorder entry: a request summary, a
+// stage transition, an eviction, a shed, an RPC failure. Events carry the
+// identities an operator needs after the fact — which tenant, which
+// cohort, which trace — so an anomaly dump is directly actionable.
+type Event struct {
+	Time    time.Time     `json:"t"`
+	Kind    string        `json:"kind"`
+	Tenant  string        `json:"tenant,omitempty"`
+	Cohort  string        `json:"cohort,omitempty"`
+	TraceID uint64        `json:"trace_id,omitempty"`
+	Dur     time.Duration `json:"dur_ns,omitempty"`
+	Err     string        `json:"err,omitempty"`
+	Attrs   []Attr        `json:"attrs,omitempty"`
+}
+
+// flightSlot pairs an event with its global sequence number so a
+// snapshot taken concurrently with writers can be ordered without a
+// writer-side lock.
+type flightSlot struct {
+	seq uint64
+	ev  Event
+}
+
+// AnomalyDump is one auto-captured ring snapshot: the trigger reason,
+// when it fired, and the events that led up to it. Dumps are retained in
+// memory (most recent last) and served on /debug/flight so the window
+// around an incident survives the incident.
+type AnomalyDump struct {
+	Time      time.Time `json:"t"`
+	Reason    string    `json:"reason"`
+	Attrs     []Attr    `json:"attrs,omitempty"`
+	Coalesced uint64    `json:"coalesced,omitempty"` // triggers suppressed by the cooldown since this dump
+	Events    []Event   `json:"events"`
+}
+
+// FlightSnapshot is the /debug/flight payload: the current event window,
+// how many older events the ring bound has discarded, and the retained
+// anomaly dumps.
+type FlightSnapshot struct {
+	Dropped   uint64        `json:"dropped"`
+	Events    []Event       `json:"events"`
+	Anomalies []AnomalyDump `json:"anomalies"`
+}
+
+// maxAnomalyDumps bounds the retained anomaly history. Old dumps fall
+// off the front; the newest is what sbgt-top and an operator want first.
+const maxAnomalyDumps = 4
+
+// FlightRecorder is a bounded ring of recent events. Record is lock-free
+// (one atomic increment plus one atomic pointer store), so it can sit on
+// the request hot path; Snapshot and the anomaly machinery take a mutex
+// but run only on scrapes and triggers. A nil *FlightRecorder is valid
+// and discards everything, like the rest of this package.
+type FlightRecorder struct {
+	slots []atomic.Pointer[flightSlot]
+	next  atomic.Uint64
+
+	mu        sync.Mutex
+	anomalies []AnomalyDump
+	lastFire  map[string]time.Time
+	cooldown  time.Duration
+	clock     func() time.Time
+	onDump    func(AnomalyDump)
+
+	mEvents   *Counter
+	mDumps    *Counter
+	mCoalesce *Counter
+}
+
+// DefaultAnomalyCooldown spaces auto-dumps for the same trigger reason:
+// a sustained incident produces one dump plus a coalesced-trigger count,
+// not a dump per evaluation tick.
+const DefaultAnomalyCooldown = time.Minute
+
+// NewFlightRecorder returns a recorder retaining the most recent limit
+// events (limit <= 0 selects 2048).
+func NewFlightRecorder(limit int) *FlightRecorder {
+	if limit <= 0 {
+		limit = 2048
+	}
+	return &FlightRecorder{
+		slots:    make([]atomic.Pointer[flightSlot], limit),
+		lastFire: make(map[string]time.Time),
+		cooldown: DefaultAnomalyCooldown,
+		clock:    time.Now,
+	}
+}
+
+// Instrument routes recorder activity into reg:
+// sbgt_obs_flight_events_total, sbgt_obs_flight_dumps_total, and
+// sbgt_obs_flight_dumps_coalesced_total. Nil recorder or registry is a
+// no-op.
+func (r *FlightRecorder) Instrument(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.mu.Lock()
+	r.mEvents = reg.Counter("sbgt_obs_flight_events_total")
+	r.mDumps = reg.Counter("sbgt_obs_flight_dumps_total")
+	r.mCoalesce = reg.Counter("sbgt_obs_flight_dumps_coalesced_total")
+	r.mu.Unlock()
+}
+
+// SetCooldown overrides the per-reason anomaly dump spacing (tests use a
+// zero clock step with a tiny cooldown).
+func (r *FlightRecorder) SetCooldown(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cooldown = d
+	r.mu.Unlock()
+}
+
+// SetClock overrides time.Now for tests.
+func (r *FlightRecorder) SetClock(clock func() time.Time) {
+	if r == nil || clock == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+// OnDump registers a callback invoked (under the recorder's lock, keep it
+// cheap) for every anomaly dump — the hook commands use to log dumps as
+// they happen.
+func (r *FlightRecorder) OnDump(fn func(AnomalyDump)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onDump = fn
+	r.mu.Unlock()
+}
+
+// Record appends one event, overwriting the oldest when the ring is
+// full. Safe for concurrent use and lock-free. Time defaults to now.
+func (r *FlightRecorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	seq := r.next.Add(1)
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&flightSlot{seq: seq, ev: ev})
+	if r.mEvents != nil {
+		r.mEvents.Inc()
+	}
+}
+
+// Len reports how many events are currently retained.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// events returns the retained events oldest-first. A snapshot racing
+// writers can miss an in-flight store or see a slot from the next lap;
+// sorting by sequence and dropping out-of-window entries keeps the
+// result consistent without stalling Record.
+func (r *FlightRecorder) events() (out []Event, dropped uint64) {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		dropped = n - uint64(len(r.slots))
+	}
+	type seqEv struct {
+		seq uint64
+		ev  Event
+	}
+	tmp := make([]seqEv, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil && s.seq <= n {
+			tmp = append(tmp, seqEv{s.seq, s.ev})
+		}
+	}
+	// Insertion sort by sequence: the ring is nearly ordered already (one
+	// rotation), and windows are small.
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j].seq < tmp[j-1].seq; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	out = make([]Event, len(tmp))
+	for i, s := range tmp {
+		out[i] = s.ev
+	}
+	return out, dropped
+}
+
+// Snapshot captures the current window plus the retained anomaly dumps —
+// the /debug/flight payload.
+func (r *FlightRecorder) Snapshot() *FlightSnapshot {
+	if r == nil {
+		return &FlightSnapshot{Events: []Event{}, Anomalies: []AnomalyDump{}}
+	}
+	events, dropped := r.events()
+	r.mu.Lock()
+	anoms := append([]AnomalyDump(nil), r.anomalies...)
+	r.mu.Unlock()
+	if anoms == nil {
+		anoms = []AnomalyDump{}
+	}
+	return &FlightSnapshot{Dropped: dropped, Events: events, Anomalies: anoms}
+}
+
+// TriggerAnomaly captures an auto-dump for the given reason: the current
+// ring contents are frozen into an AnomalyDump and retained. Triggers for
+// the same reason within the cooldown are coalesced into the previous
+// dump's Coalesced count instead of producing another dump, so a breach
+// that persists across evaluation ticks yields exactly one dump. Returns
+// true when a new dump was captured.
+func (r *FlightRecorder) TriggerAnomaly(reason string, attrs ...Attr) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	now := r.clock()
+	if last, ok := r.lastFire[reason]; ok && now.Sub(last) < r.cooldown {
+		for i := len(r.anomalies) - 1; i >= 0; i-- {
+			if r.anomalies[i].Reason == reason {
+				r.anomalies[i].Coalesced++
+				break
+			}
+		}
+		if r.mCoalesce != nil {
+			r.mCoalesce.Inc()
+		}
+		r.mu.Unlock()
+		return false
+	}
+	r.lastFire[reason] = now
+	events, _ := r.events()
+	dump := AnomalyDump{Time: now, Reason: reason, Attrs: attrs, Events: events}
+	r.anomalies = append(r.anomalies, dump)
+	if len(r.anomalies) > maxAnomalyDumps {
+		r.anomalies = append(r.anomalies[:0], r.anomalies[len(r.anomalies)-maxAnomalyDumps:]...)
+	}
+	if r.mDumps != nil {
+		r.mDumps.Inc()
+	}
+	onDump := r.onDump
+	if onDump != nil {
+		onDump(dump)
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// Anomalies returns the retained dumps, oldest first.
+func (r *FlightRecorder) Anomalies() []AnomalyDump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]AnomalyDump(nil), r.anomalies...)
+}
+
+// WriteJSON renders the full snapshot as indented JSON — the SIGQUIT
+// dump format, identical to the /debug/flight body.
+func (r *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// LogDumps wires OnDump to log each anomaly dump's headline (reason,
+// event count, trigger attrs) through log at error level — the "a dump
+// happened, go look at /debug/flight" operator signal.
+func (r *FlightRecorder) LogDumps(log *slog.Logger) {
+	if r == nil || log == nil {
+		return
+	}
+	r.OnDump(func(d AnomalyDump) {
+		args := []any{"reason", d.Reason, "events", len(d.Events)}
+		for _, a := range d.Attrs {
+			args = append(args, a.Key, a.Value)
+		}
+		log.Error("obs: anomaly auto-dump captured", args...)
+	})
+}
+
+// FlightScope pre-binds tenant and cohort identity onto recorded events —
+// the shape session-level instrumentation wants, where the recorder is
+// shared but every event belongs to one cohort. A nil scope discards.
+type FlightScope struct {
+	rec    *FlightRecorder
+	tenant string
+	cohort string
+}
+
+// Scope returns a recorder view that stamps tenant and cohort onto every
+// event. A nil recorder returns a nil (safe to use) scope.
+func (r *FlightRecorder) Scope(tenant, cohort string) *FlightScope {
+	if r == nil {
+		return nil
+	}
+	return &FlightScope{rec: r, tenant: tenant, cohort: cohort}
+}
+
+// Event records one event under the scope's identity.
+func (s *FlightScope) Event(ev Event) {
+	if s == nil {
+		return
+	}
+	if ev.Tenant == "" {
+		ev.Tenant = s.tenant
+	}
+	if ev.Cohort == "" {
+		ev.Cohort = s.cohort
+	}
+	s.rec.Record(ev)
+}
+
+// Recorder exposes the underlying recorder (nil for a nil scope).
+func (s *FlightScope) Recorder() *FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}

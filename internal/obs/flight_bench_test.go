@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The flight recorder and exemplar path sit on the serve request hot
+// path, so their per-call cost is the observability layer's per-request
+// overhead (the S1 vs S1R comparison in the bench file measures the same
+// thing end to end, but single-run loopback p99 is noisy; these pin the
+// per-operation cost directly).
+
+func BenchmarkFlightRecord(b *testing.B) {
+	r := NewFlightRecorder(2048)
+	ev := Event{Kind: "request", Tenant: "acme", Cohort: "c1", TraceID: 42, Dur: time.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkFlightRecordParallel(b *testing.B) {
+	r := NewFlightRecorder(2048)
+	ev := Event{Kind: "request", Tenant: "acme", Cohort: "c1", TraceID: 42, Dur: time.Millisecond}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Record(ev)
+		}
+	})
+}
+
+func BenchmarkFlightRecordNil(b *testing.B) {
+	var r *FlightRecorder
+	ev := Event{Kind: "request"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkObserveExemplar(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("sbgt_serve_request_seconds", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveExemplar(0.004, uint64(i)+1)
+	}
+}
+
+func BenchmarkObserveNoExemplar(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("sbgt_serve_request_seconds", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.004)
+	}
+}

@@ -9,41 +9,55 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // NewMux builds the observability HTTP mux:
 //
-//	/metrics        Prometheus text exposition of the registry
+//	/metrics        Prometheus text exposition of the registry; clients
+//	                whose Accept header asks for application/openmetrics-text
+//	                get OpenMetrics 1.0 instead (the format that carries
+//	                histogram exemplars)
 //	/metrics.json   JSON snapshot of the registry
 //	/healthz        liveness probe (200 "ok")
 //	/readyz         readiness probe (200 "ok", or 503 + reason)
 //	/spans          JSON {"dropped": n, "spans": [...]} of the tracer's
 //	                buffered spans plus its retention-bound eviction count
+//	/debug/flight   flight-recorder snapshot: recent events + anomaly dumps
 //	/debug/pprof/*  net/http/pprof profiles
 //
 // Liveness and readiness are distinct probes: /healthz answers "is the
 // process running" and is always 200, while /readyz answers "should a
-// load balancer route traffic here". An optional readiness func drives
+// load balancer route traffic here". Optional readiness funcs drive
 // /readyz — nil error means ready; a non-nil error serves 503 with the
 // error text as the body, which is how a draining server sheds traffic
 // before its listener closes. With no readiness func /readyz mirrors
 // /healthz (a process with no drain states is always ready).
 //
-// reg and tracer may be nil; the corresponding endpoints then serve
-// empty documents. The mux is standalone (not http.DefaultServeMux), so
+// reg, tracer, and flight may be nil; the corresponding endpoints then
+// serve empty documents. A non-nil reg gets the Go runtime collector
+// (sbgt_go_*) installed, so every served registry reports process health
+// for free. The mux is standalone (not http.DefaultServeMux), so
 // importing this package never leaks pprof onto a server the caller did
 // not ask for.
-func NewMux(reg *Registry, tracer *Tracer, ready ...func() error) *http.ServeMux {
+func NewMux(reg *Registry, tracer *Tracer, flight *FlightRecorder, ready ...func() error) *http.ServeMux {
+	RegisterRuntimeMetrics(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		var snap *Snapshot
 		if reg != nil {
 			snap = reg.Snapshot()
 		} else {
 			snap = &Snapshot{}
 		}
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			//lint:allow errcheck the client hung up mid-write; nothing to recover
+			_ = snap.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := snap.WritePrometheus(w); err != nil {
 			// The client hung up mid-write; nothing to recover.
 			return
@@ -99,6 +113,11 @@ func NewMux(reg *Registry, tracer *Tracer, ready ...func() error) *http.ServeMux
 			return
 		}
 	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		//lint:allow errcheck the client hung up mid-write; nothing to recover
+		_ = flight.WriteJSON(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -117,14 +136,14 @@ type Server struct {
 // ephemeral port) and serves it on a background goroutine. The returned
 // Server reports the bound address and shuts the listener down on Close.
 // log, if non-nil, receives a startup line and any serve failure.
-func Serve(addr string, reg *Registry, tracer *Tracer, log *slog.Logger) (*Server, error) {
+func Serve(addr string, reg *Registry, tracer *Tracer, flight *FlightRecorder, log *slog.Logger, ready ...func() error) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	log = OrNop(log)
 	srv := &http.Server{
-		Handler:           NewMux(reg, tracer),
+		Handler:           NewMux(reg, tracer, flight, ready...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	s := &Server{lis: lis, srv: srv}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteOpenMetricsGolden pins the exact exposition text: counter
+// families declared under the base name with the _total sample suffix,
+// bucket exemplars in the `# {trace_id="…"} value timestamp` form, and
+// the mandatory # EOF terminator. Any drift here breaks real scrapers.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	snap := &Snapshot{
+		Counters: []CounterSnapshot{
+			{Name: "sbgt_serve_requests_total", Value: 42},
+			{Name: "sbgt_serve_tenant_requests_total", Labels: []Label{L("tenant", "acme")}, Value: 7},
+			{Name: "sbgt_serve_tenant_requests_total", Labels: []Label{L("tenant", "zoo")}, Value: 1},
+		},
+		Gauges: []GaugeSnapshot{
+			{Name: "sbgt_serve_cohorts", Value: 3},
+		},
+		Histograms: []HistogramSnapshot{{
+			Name:  "sbgt_serve_request_seconds",
+			Count: 4,
+			Sum:   0.25,
+			Buckets: []BucketSnapshot{
+				{UpperBound: 0.01, Count: 1},
+				{UpperBound: 0.1, Count: 3},
+				{UpperBound: math.Inf(1), Count: 4},
+			},
+			Exemplars: []ExemplarSnapshot{{
+				Bucket:  1,
+				Value:   0.05,
+				TraceID: 0xdeadbeef,
+				Time:    time.Unix(1700000000, 123000000).UTC(),
+			}},
+		}},
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE sbgt_serve_requests counter`,
+		`sbgt_serve_requests_total 42`,
+		`# TYPE sbgt_serve_tenant_requests counter`,
+		`sbgt_serve_tenant_requests_total{tenant="acme"} 7`,
+		`sbgt_serve_tenant_requests_total{tenant="zoo"} 1`,
+		`# TYPE sbgt_serve_cohorts gauge`,
+		`sbgt_serve_cohorts 3`,
+		`# TYPE sbgt_serve_request_seconds histogram`,
+		`sbgt_serve_request_seconds_bucket{le="0.01"} 1`,
+		`sbgt_serve_request_seconds_bucket{le="0.1"} 3 # {trace_id="00000000deadbeef"} 0.05 1700000000.123`,
+		`sbgt_serve_request_seconds_bucket{le="+Inf"} 4`,
+		`sbgt_serve_request_seconds_sum 0.25`,
+		`sbgt_serve_request_seconds_count 4`,
+		`# EOF`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("OpenMetrics exposition drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExemplarLiveRegistry drives an exemplar through a real histogram
+// and checks it survives into the snapshot and the OpenMetrics text.
+func TestExemplarLiveRegistry(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sbgt_serve_request_seconds", nil)
+	h.ObserveExemplar(0.003, 0xabcdef0123456789)
+	h.ObserveExemplar(0.004, 0) // zero trace ID: observed, but no exemplar stored
+
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.Count != 2 {
+		t.Fatalf("count = %d, want 2 (zero-trace observation still counts)", hs.Count)
+	}
+	if len(hs.Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v, want exactly one", hs.Exemplars)
+	}
+	ex := hs.Exemplars[0]
+	if ex.TraceID != 0xabcdef0123456789 || ex.Value != 0.003 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+	if ex.Time.IsZero() {
+		t.Fatal("exemplar timestamp not stamped")
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `# {trace_id="abcdef0123456789"}`) {
+		t.Fatalf("exposition lacks the exemplar:\n%s", text)
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatal("exposition must end with # EOF")
+	}
+}
+
+// TestExemplarLastWriteWins: two observations landing in the same bucket
+// keep the most recent trace — recency is the debugging contract.
+func TestExemplarLastWriteWins(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sbgt_serve_request_seconds", nil)
+	h.ObserveExemplar(0.003, 1)
+	h.ObserveExemplar(0.0031, 2)
+	hs := reg.Snapshot().Histograms[0]
+	if len(hs.Exemplars) != 1 || hs.Exemplars[0].TraceID != 2 {
+		t.Fatalf("exemplars = %+v, want the later trace (2)", hs.Exemplars)
+	}
+}

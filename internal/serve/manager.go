@@ -54,6 +54,10 @@ type ManagerConfig struct {
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
 	Log    *slog.Logger
+	// Flight, when non-nil, receives structured lifecycle events (creates,
+	// evictions, restores, deletes, drains) and absorb-failure anomaly
+	// triggers, each tagged with tenant and cohort identity.
+	Flight *obs.FlightRecorder
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -249,6 +253,7 @@ func (m *Manager) checkpointLocked(c *cohort) error {
 	m.resident.Add(-1)
 	gaugeAdd(m.mResident, -1)
 	inc(m.mEvicted)
+	m.cfg.Flight.Record(obs.Event{Kind: "evict", Tenant: c.tenant, Cohort: c.id})
 	m.cfg.Log.Debug("serve: cohort checkpointed", "cohort", c.id)
 	return nil
 }
@@ -273,6 +278,7 @@ func (m *Manager) restoreLocked(c *cohort) error {
 	m.resident.Add(1)
 	gaugeAdd(m.mResident, 1)
 	inc(m.mRestored)
+	m.cfg.Flight.Record(obs.Event{Kind: "restore", Tenant: c.tenant, Cohort: c.id})
 	m.cfg.Log.Debug("serve: cohort restored", "cohort", c.id)
 	return nil
 }
@@ -387,6 +393,7 @@ func (m *Manager) Create(req CreateCohortRequest) (string, error) {
 		MaxStages:    req.MaxStages,
 		Obs:          m.cfg.Obs,
 		Tracer:       m.cfg.Tracer,
+		Flight:       m.cfg.Flight.Scope(req.Tenant, id),
 	})
 	if err != nil {
 		m.drop(c)
@@ -399,6 +406,10 @@ func (m *Manager) Create(req CreateCohortRequest) (string, error) {
 	gaugeAdd(m.mResident, 1)
 	gaugeAdd(m.mCohorts, 1)
 	inc(m.mCreated)
+	m.cfg.Flight.Record(obs.Event{
+		Kind: "create", Tenant: req.Tenant, Cohort: id,
+		Attrs: []obs.Attr{obs.A("subjects", len(req.Risks))},
+	})
 	m.makeRoom()
 	m.cfg.Log.Debug("serve: cohort created", "cohort", id, "tenant", req.Tenant, "subjects", len(req.Risks))
 	return id, nil
@@ -436,9 +447,24 @@ func (m *Manager) Pools(id string) (*PoolsResponse, error) {
 // outstanding proposal exactly; a rejected batch leaves the proposal
 // open, and a duplicate submission fails with core.ErrNoProposal rather
 // than double-counting evidence.
+//
+// Failure triage feeds the flight recorder: a duplicate submission
+// (ErrNoProposal) and a rejected batch (proposal still outstanding) are
+// client errors and stay out of the anomaly stream, but an absorb that
+// consumed the proposal and then failed is an internal posterior fault —
+// the cohort is wedged mid-stage — and triggers an anomaly auto-dump
+// naming the tenant and cohort.
 func (m *Manager) Submit(id string, results []core.TestResult) error {
+	var tenant string
+	if c, err := m.lookup(id); err == nil {
+		tenant = c.tenant
+	}
 	return m.withSession(id, func(s *core.Session) error {
 		if err := s.AbsorbResults(results); err != nil {
+			if !errors.Is(err, core.ErrNoProposal) && s.Outstanding() == nil && !s.Done() {
+				m.cfg.Flight.TriggerAnomaly("absorb_failure",
+					obs.A("tenant", tenant), obs.A("cohort", id), obs.A("err", err.Error()))
+			}
 			return err
 		}
 		if m.mResults != nil {
@@ -497,7 +523,18 @@ func (m *Manager) Delete(id string) error {
 	}
 	m.drop(c)
 	gaugeAdd(m.mCohorts, -1)
+	m.cfg.Flight.Record(obs.Event{Kind: "delete", Tenant: c.tenant, Cohort: id})
 	return nil
+}
+
+// Tenant reports which tenant owns the cohort ("" when unknown — e.g. a
+// cohort recovered from a predecessor's checkpoint directory).
+func (m *Manager) Tenant(id string) string {
+	c, err := m.lookup(id)
+	if err != nil {
+		return ""
+	}
+	return c.tenant
 }
 
 // Ready reports whether the manager should receive traffic — the /readyz
@@ -535,6 +572,7 @@ func (m *Manager) Drain() (int, error) {
 		}
 		c.mu.Unlock()
 	}
+	m.cfg.Flight.Record(obs.Event{Kind: "drain", Attrs: []obs.Attr{obs.A("checkpointed", n)}})
 	m.cfg.Log.Info("serve: drained", "checkpointed", n)
 	return n, first
 }

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestTenantLabelCardinalityBound proves the per-tenant RED series can
+// never explode: drive requests from more distinct tenants than the
+// bound and the surplus aggregates under the "__other__" label, keeping
+// total tenant label values at the bound plus the overflow bucket.
+func TestTenantLabelCardinalityBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	const bound = 4
+	_, ts := newTestServer(t,
+		ManagerConfig{Obs: reg},
+		ServerConfig{Obs: reg, MaxTenantLabels: bound})
+
+	risks := workload.UniformRisks(4, 0.1)
+	const tenants = 10
+	for i := 0; i < tenants; i++ {
+		var created CreateCohortResponse
+		code, _ := doJSON(t, "POST", ts.URL+"/v1/cohorts", CreateCohortRequest{
+			Tenant: fmt.Sprintf("tenant-%02d", i),
+			Risks:  risks,
+		}, &created)
+		if code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+	}
+
+	snap := reg.Snapshot()
+	values := map[string]uint64{}
+	for _, c := range snap.Counters {
+		if c.Name != "sbgt_serve_tenant_requests_total" {
+			continue
+		}
+		for _, l := range c.Labels {
+			if l.Key == "tenant" {
+				values[l.Value] = c.Value
+			}
+		}
+	}
+	if len(values) > bound+1 {
+		t.Fatalf("tenant label cardinality %d exceeds bound %d (+overflow): %v", len(values), bound, values)
+	}
+	overflow, ok := values[TenantOverflow]
+	if !ok {
+		t.Fatalf("no %s series despite %d tenants past the %d bound: %v", TenantOverflow, tenants, bound, values)
+	}
+	if want := uint64(tenants - bound); overflow != want {
+		t.Fatalf("overflow requests = %d, want %d", overflow, want)
+	}
+	// The in-bound tenants each keep their own series.
+	for i := 0; i < bound; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		if values[name] != 1 {
+			t.Fatalf("tenant %s requests = %d, want 1 (%v)", name, values[name], values)
+		}
+	}
+
+	// The histogram family obeys the same bound.
+	histTenants := map[string]bool{}
+	for _, h := range snap.Histograms {
+		if h.Name != "sbgt_serve_tenant_request_seconds" {
+			continue
+		}
+		for _, l := range h.Labels {
+			if l.Key == "tenant" {
+				histTenants[l.Value] = true
+			}
+		}
+	}
+	if len(histTenants) > bound+1 || !histTenants[TenantOverflow] {
+		t.Fatalf("latency family tenants = %v", histTenants)
+	}
+}
+
+// TestInducedAnomalyExactlyOneDump breaches an impossible p99 objective
+// with live traffic and checks the whole forensic chain the tentpole
+// promises: exactly one auto-dump fires at breach onset (later
+// evaluations coalesce), the dump carries the offending tenant, cohort,
+// and trace ID, and that trace ID resolves to a well-formed span tree
+// via obs.Assemble. With Degrade set, /readyz turns 503 while burning.
+func TestInducedAnomalyExactlyOneDump(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(256)
+	flight := obs.NewFlightRecorder(64)
+	flight.SetCooldown(0) // isolate the SLO edge-trigger from the recorder cooldown
+
+	slo, err := obs.NewSLO(reg, flight, []obs.Objective{{
+		Name:     "p99_request",
+		Metric:   "sbgt_serve_request_seconds",
+		Quantile: 0.99,
+		Target:   1e-9, // one nanosecond: any real request breaches
+		Degrade:  true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t,
+		ManagerConfig{Obs: reg, Tracer: tracer, Flight: flight},
+		ServerConfig{Obs: reg, Tracer: tracer, Flight: flight, SLO: slo})
+
+	slo.Eval() // baseline window
+
+	var created CreateCohortResponse
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/cohorts", CreateCohortRequest{
+		Tenant: "acme",
+		Risks:  workload.UniformRisks(4, 0.1),
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/cohorts/"+created.ID+"/pools", nil, nil); code != http.StatusOK {
+		t.Fatalf("pools: status %d", code)
+	}
+
+	// Breach onset: the window has traffic, all of it slower than 1ns.
+	if st := slo.Eval(); !st[0].Breached {
+		t.Fatalf("objective not breached: %+v", st[0])
+	}
+	// The breach persists across later windows with fresh traffic — still
+	// exactly one dump.
+	for i := 0; i < 3; i++ {
+		doJSON(t, "GET", ts.URL+"/v1/cohorts/"+created.ID, nil, nil)
+		slo.Eval()
+	}
+
+	dumps := flight.Anomalies()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d anomaly dumps, want exactly 1", len(dumps))
+	}
+	dump := dumps[0]
+	if dump.Reason != "slo:p99_request" {
+		t.Fatalf("dump reason = %q", dump.Reason)
+	}
+
+	// The dump must carry an actionable request event: tenant, cohort, and
+	// a resolvable trace ID.
+	var offender *obs.Event
+	for i := range dump.Events {
+		ev := &dump.Events[i]
+		if ev.Kind == "request" && ev.Tenant == "acme" && ev.Cohort == created.ID && ev.TraceID != 0 {
+			offender = ev
+			break
+		}
+	}
+	if offender == nil {
+		t.Fatalf("dump has no request event for tenant acme cohort %s with a trace ID: %+v", created.ID, dump.Events)
+	}
+
+	// Resolve the offending trace through the tracer.
+	spans, _ := tracer.Snapshot()
+	var found *obs.Trace
+	for _, tr := range obs.Assemble(spans) {
+		if tr.TraceID == offender.TraceID {
+			found = tr
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %016x from the dump not resolvable from the tracer", offender.TraceID)
+	}
+	if len(found.Roots) == 0 || found.Roots[0].Name != "http" {
+		t.Fatalf("assembled trace = %+v, want an http root span", found.Roots)
+	}
+
+	// Degrade feeds readiness: /readyz is 503 while the objective burns.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d during breach, want 503", resp.StatusCode)
+	}
+
+	// A quiet window recovers readiness.
+	slo.Eval()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d after recovery, want 200", resp.StatusCode)
+	}
+}
+
+// TestFlightShedEvent: shed requests leave a flight event even though no
+// handler runs.
+func TestFlightShedEvent(t *testing.T) {
+	reg := obs.NewRegistry()
+	flight := obs.NewFlightRecorder(16)
+	s, _ := newTestServer(t,
+		ManagerConfig{Obs: reg},
+		ServerConfig{Obs: reg, Flight: flight, MaxInflight: 1})
+
+	// Fill the only inflight slot so the next request sheds.
+	s.inflight <- struct{}{}
+	defer func() { <-s.inflight }()
+
+	req, _ := http.NewRequest("GET", "/v1/cohorts/nope", nil)
+	rec := newRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.status)
+	}
+	var shed bool
+	for _, ev := range flight.Snapshot().Events {
+		if ev.Kind == "shed" {
+			shed = true
+		}
+	}
+	if !shed {
+		t.Fatal("no shed event recorded")
+	}
+}
+
+// newRecorder is a minimal ResponseWriter capturing status for direct
+// ServeHTTP calls.
+type testRecorder struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func newRecorder() *testRecorder { return &testRecorder{header: http.Header{}, status: http.StatusOK} }
+
+func (r *testRecorder) Header() http.Header { return r.header }
+func (r *testRecorder) WriteHeader(c int)   { r.status = c }
+func (r *testRecorder) Write(b []byte) (int, error) {
+	r.body = append(r.body, b...)
+	return len(b), nil
+}

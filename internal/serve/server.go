@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -24,6 +25,16 @@ var latencyBounds = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// DefaultTenantLabels bounds how many distinct tenant label values the
+// per-tenant RED metrics may create; tenants past the bound aggregate
+// under the "__other__" label, so a tenant-ID churn (or an abusive
+// client minting tenants) can never blow up series cardinality.
+const DefaultTenantLabels = 32
+
+// TenantOverflow is the label value requests from beyond-the-bound
+// tenants aggregate under.
+const TenantOverflow = "__other__"
+
 // ServerConfig wires a Server.
 type ServerConfig struct {
 	Manager *Manager
@@ -31,9 +42,20 @@ type ServerConfig struct {
 	// shed with 429 + Retry-After instead of queueing without bound. Zero
 	// means 512.
 	MaxInflight int
-	Obs         *obs.Registry
-	Tracer      *obs.Tracer
-	Log         *slog.Logger
+	// MaxTenantLabels bounds the distinct tenant values in per-tenant RED
+	// series (zero means DefaultTenantLabels); overflow aggregates under
+	// TenantOverflow.
+	MaxTenantLabels int
+	Obs             *obs.Registry
+	Tracer          *obs.Tracer
+	Log             *slog.Logger
+	// Flight, when non-nil, records request summaries and sheds (the
+	// manager records lifecycle events through its own config).
+	Flight *obs.FlightRecorder
+	// SLO, when non-nil, joins the /readyz chain: a breached Degrade
+	// objective turns readiness 503 so the load balancer backs off while
+	// the error budget burns.
+	SLO *obs.SLO
 }
 
 // Server is the sbgt-serve HTTP API:
@@ -53,11 +75,58 @@ type Server struct {
 	mux      *http.ServeMux
 	log      *slog.Logger
 	tracer   *obs.Tracer
+	flight   *obs.FlightRecorder
 	inflight chan struct{}
 
 	mRequests *obs.Counter
 	mShed     *obs.Counter
 	mLatency  *obs.Histogram
+
+	// Per-tenant RED series, bounded at maxTenants distinct labels with
+	// overflow under TenantOverflow. reg is kept so new tenants register
+	// their handles lazily on first request.
+	reg        *obs.Registry
+	maxTenants int
+	tenantMu   sync.Mutex
+	tenants    map[string]*tenantMetrics
+}
+
+// tenantMetrics is one tenant's RED handle set.
+type tenantMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// tenant returns the metrics handles for one tenant label, registering
+// them on first use and aggregating under TenantOverflow once the bound
+// is hit. Returns nil when no registry is wired.
+func (s *Server) tenant(name string) *tenantMetrics {
+	if s.reg == nil {
+		return nil
+	}
+	if name == "" {
+		name = "default"
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if tm, ok := s.tenants[name]; ok {
+		return tm
+	}
+	if len(s.tenants) >= s.maxTenants {
+		name = TenantOverflow
+		if tm, ok := s.tenants[name]; ok {
+			return tm
+		}
+	}
+	l := obs.L("tenant", name)
+	tm := &tenantMetrics{
+		requests: s.reg.Counter("sbgt_serve_tenant_requests_total", l),
+		errors:   s.reg.Counter("sbgt_serve_tenant_errors_total", l),
+		latency:  s.reg.Histogram("sbgt_serve_tenant_request_seconds", latencyBounds, l),
+	}
+	s.tenants[name] = tm
+	return tm
 }
 
 // NewServer builds the API handler around a manager.
@@ -65,12 +134,23 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 512
 	}
+	if cfg.MaxTenantLabels <= 0 {
+		cfg.MaxTenantLabels = DefaultTenantLabels
+	}
+	ready := []func() error{cfg.Manager.Ready}
+	if cfg.SLO != nil {
+		ready = append(ready, cfg.SLO.Ready)
+	}
 	s := &Server{
-		mgr:      cfg.Manager,
-		mux:      obs.NewMux(cfg.Obs, cfg.Tracer, cfg.Manager.Ready),
-		log:      obs.OrNop(cfg.Log),
-		tracer:   cfg.Tracer,
-		inflight: make(chan struct{}, cfg.MaxInflight),
+		mgr:        cfg.Manager,
+		mux:        obs.NewMux(cfg.Obs, cfg.Tracer, cfg.Flight, ready...),
+		log:        obs.OrNop(cfg.Log),
+		tracer:     cfg.Tracer,
+		flight:     cfg.Flight,
+		inflight:   make(chan struct{}, cfg.MaxInflight),
+		reg:        cfg.Obs,
+		maxTenants: cfg.MaxTenantLabels,
+		tenants:    make(map[string]*tenantMetrics),
 	}
 	if reg := cfg.Obs; reg != nil {
 		s.mRequests = reg.Counter("sbgt_serve_requests_total")
@@ -91,15 +171,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	s.mux.ServeHTTP(w, req)
 }
 
-// guard wraps an API handler with backpressure, metrics, and a
+// reqInfo threads per-request identity from handler to guard: which
+// tenant and cohort the request touched (set by the handler once it
+// knows) plus the response status, captured by the statusRecorder.
+type reqInfo struct {
+	tenant string
+	cohort string
+	status int
+}
+
+// bind resolves the cohort's tenant and stamps both identities — the
+// one-liner every {id}-routed handler opens with.
+func (ri *reqInfo) bind(s *Server, cohortID string) {
+	ri.cohort = cohortID
+	ri.tenant = s.mgr.Tenant(cohortID)
+}
+
+// statusRecorder captures the response status for metrics and events.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// guard wraps an API handler with backpressure, metrics (aggregate and
+// per-tenant RED with exemplars), flight-recorder events, and a
 // per-request span.
-func (s *Server) guard(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+func (s *Server) guard(h func(http.ResponseWriter, *http.Request, *reqInfo) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
 		default:
 			inc(s.mShed)
+			s.flight.Record(obs.Event{
+				Kind:  "shed",
+				Attrs: []obs.Attr{obs.A("method", req.Method), obs.A("path", req.URL.Path)},
+			})
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, errors.New("serve: too many in-flight requests"))
 			return
@@ -107,22 +219,47 @@ func (s *Server) guard(h func(http.ResponseWriter, *http.Request) error) http.Ha
 		inc(s.mRequests)
 		start := time.Now()
 		var span *obs.Span
+		var traceID uint64
 		if s.tracer != nil {
 			span = s.tracer.Start("http", obs.A("method", req.Method), obs.A("path", req.URL.Path))
+			traceID = span.Context().TraceID
 		}
-		err := h(w, req)
+		ri := &reqInfo{status: http.StatusOK}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		err := h(rec, req, ri)
+		ri.status = rec.status
 		if span != nil {
 			if err != nil {
 				span.SetAttr("err", err.Error())
 			}
 			span.End()
 		}
+		elapsed := time.Since(start).Seconds()
 		if s.mLatency != nil {
-			s.mLatency.Observe(time.Since(start).Seconds())
+			s.mLatency.ObserveExemplar(elapsed, traceID)
+		}
+		if tm := s.tenant(ri.tenant); tm != nil {
+			tm.requests.Inc()
+			tm.latency.ObserveExemplar(elapsed, traceID)
+			if ri.status >= http.StatusInternalServerError {
+				tm.errors.Inc()
+			}
+		}
+		ev := obs.Event{
+			Kind:    "request",
+			Tenant:  ri.tenant,
+			Cohort:  ri.cohort,
+			TraceID: traceID,
+			Dur:     time.Since(start),
+			Attrs: []obs.Attr{
+				obs.A("method", req.Method), obs.A("path", req.URL.Path), obs.A("status", ri.status),
+			},
 		}
 		if err != nil {
+			ev.Err = err.Error()
 			s.log.Debug("serve: request failed", "method", req.Method, "path", req.URL.Path, "err", err)
 		}
+		s.flight.Record(ev)
 	}
 }
 
@@ -175,28 +312,33 @@ func decode(req *http.Request, v any) error {
 	return nil
 }
 
-func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) error {
+func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request, ri *reqInfo) error {
 	var in CreateCohortRequest
 	if err := decode(req, &in); err != nil {
 		return fail(w, err)
 	}
+	ri.tenant = in.Tenant
 	id, err := s.mgr.Create(in)
 	if err != nil {
 		return fail(w, err)
 	}
+	ri.cohort = id
 	return writeJSON(w, http.StatusCreated, CreateCohortResponse{ID: id})
 }
 
-func (s *Server) handlePools(w http.ResponseWriter, req *http.Request) error {
-	out, err := s.mgr.Pools(req.PathValue("id"))
+func (s *Server) handlePools(w http.ResponseWriter, req *http.Request, ri *reqInfo) error {
+	id := req.PathValue("id")
+	ri.bind(s, id)
+	out, err := s.mgr.Pools(id)
 	if err != nil {
 		return fail(w, err)
 	}
 	return writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) error {
+func (s *Server) handleResults(w http.ResponseWriter, req *http.Request, ri *reqInfo) error {
 	id := req.PathValue("id")
+	ri.bind(s, id)
 	var in SubmitResultsRequest
 	if err := decode(req, &in); err != nil {
 		return fail(w, err)
@@ -211,23 +353,27 @@ func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) error {
 	return writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) error {
-	out, err := s.mgr.Status(req.PathValue("id"))
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request, ri *reqInfo) error {
+	id := req.PathValue("id")
+	ri.bind(s, id)
+	out, err := s.mgr.Status(id)
 	if err != nil {
 		return fail(w, err)
 	}
 	return writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) error {
-	if err := s.mgr.Delete(req.PathValue("id")); err != nil {
+func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request, ri *reqInfo) error {
+	id := req.PathValue("id")
+	ri.bind(s, id)
+	if err := s.mgr.Delete(id); err != nil {
 		return fail(w, err)
 	}
 	w.WriteHeader(http.StatusNoContent)
 	return nil
 }
 
-func (s *Server) handleDrain(w http.ResponseWriter, req *http.Request) error {
+func (s *Server) handleDrain(w http.ResponseWriter, req *http.Request, ri *reqInfo) error {
 	n, err := s.mgr.Drain()
 	if err != nil {
 		return fail(w, err)

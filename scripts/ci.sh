@@ -34,8 +34,11 @@ echo '== serve smoke (boot sbgt-serve, drive over HTTP, drain on SIGTERM) =='
 ./scripts/serve_smoke.sh
 
 echo '== bench smoke (quick, vs committed baseline, 5x bound) =='
-go run ./cmd/sbgt-bench -exp T1,F6,A5,S1 -quick -baseline BENCH_new.json > /dev/null
-go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_2.json BENCH_new.json
+go run ./cmd/sbgt-bench -exp T1,F6,A5,S1,S1R -quick -baseline BENCH_new.json > /dev/null
+go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_3.json BENCH_new.json
+
+echo '== sbgt-metriclint (metric naming + cardinality contract over the bench snapshot) =='
+go run ./cmd/sbgt-metriclint BENCH_new.json
 rm -f BENCH_new.json
 
 echo 'CI gate passed.'

@@ -51,6 +51,26 @@ for series in sbgt_serve_requests_total sbgt_serve_cohorts_created_total sbgt_se
   grep -q "^$series" "$dir/metrics.txt" || { echo "missing metric $series"; exit 1; }
 done
 
+echo '== flight recorder (request events with trace IDs after the load drive) =='
+curl -sSf "$base/debug/flight" >"$dir/flight.json"
+grep -q '"kind": "request"' "$dir/flight.json" || { echo 'no request events in /debug/flight'; exit 1; }
+# At least one request event must carry a resolvable (nonzero) trace ID.
+grep -q '"trace_id": [1-9]' "$dir/flight.json" || { echo 'no nonzero trace_id in flight events'; exit 1; }
+
+echo '== OpenMetrics negotiation (exemplar-capable exposition) =='
+curl -sSf -H 'Accept: application/openmetrics-text' "$base/metrics" >"$dir/openmetrics.txt"
+grep -q '^# EOF' "$dir/openmetrics.txt" || { echo 'OpenMetrics exposition missing # EOF'; exit 1; }
+grep -q 'trace_id=' "$dir/openmetrics.txt" || { echo 'no exemplars in OpenMetrics exposition'; exit 1; }
+
+echo '== sbgt-top (one frame against the live server) =='
+go run ./cmd/sbgt-top -target "$base" -once >"$dir/top.txt"
+grep -q 'requests' "$dir/top.txt" || { echo 'sbgt-top rendered nothing'; cat "$dir/top.txt"; exit 1; }
+grep -q 'flight:' "$dir/top.txt" || { echo 'sbgt-top missing flight section'; cat "$dir/top.txt"; exit 1; }
+
+echo '== sbgt-metriclint (naming + cardinality over the live registry) =='
+curl -sSf "$base/metrics.json" >"$dir/metrics.json"
+go run ./cmd/sbgt-metriclint "$dir/metrics.json"
+
 echo '== drain on SIGTERM =='
 kill -TERM "$pid"
 wait "$pid" || { echo 'server exited non-zero'; cat "$dir/serve.log"; exit 1; }
