@@ -23,7 +23,7 @@ lint:
 # backend conformance suite (which drives the cluster backend end to end
 # over loopback TCP). Short mode keeps the statistical loops out.
 race:
-	$(GO) test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core ./internal/obs
+	$(GO) test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core ./internal/obs ./internal/obs/profiler
 
 # Short fuzz smoke over the numeric-kernel and lint-input invariants.
 fuzz:
@@ -35,13 +35,13 @@ fuzz:
 
 # Perf-regression harness (the BENCH trajectory). BENCH_EXPS picks the
 # experiments, BENCH_RATIO the slowdown bound sbgt-benchdiff applies,
-# BENCH_FILE the committed baseline being tracked (BENCH_3.json is the
-# current head of the trajectory, adding the S1R observability-overhead
-# experiment; BENCH_2.json and earlier are the points it is diffed
-# against in EXPERIMENTS.md).
-BENCH_EXPS ?= T1,F6,A5,S1,S1R
+# BENCH_FILE the committed baseline being tracked (BENCH_4.json is the
+# current head of the trajectory, adding the S1P continuous-profiler
+# overhead experiment; BENCH_3.json and earlier are the points it is
+# diffed against in EXPERIMENTS.md).
+BENCH_EXPS ?= T1,F6,A5,S1,S1R,S1P
 BENCH_RATIO ?= 1.5
-BENCH_FILE ?= BENCH_3.json
+BENCH_FILE ?= BENCH_4.json
 
 # Record the committed baseline: run the bench experiments quick and
 # write $(BENCH_FILE) (wall times + registry snapshot + git SHA).

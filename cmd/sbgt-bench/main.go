@@ -109,6 +109,7 @@ func registry() []experiment {
 		{"A5", "ablation: structure-aware kernels (sub-lattice, radix, tiling, fusion)", runA5},
 		{"S1", "sbgt-serve loopback load (concurrent cohorts, exact p50/p99 latency)", runS1},
 		{"S1R", "S1 workload with the observability layer on (recorder overhead)", runS1R},
+		{"S1P", "S1 workload with the continuous profiler sampling (profiler overhead)", runS1P},
 	}
 }
 

@@ -21,6 +21,11 @@
 // When a driver propagates a trace context, the executor's dispatch
 // spans appear both on its /spans endpoint and in the driver's assembled
 // trace (they ship back in the response trailer).
+//
+// With -profile-dir the continuous profiler also runs: anomaly dumps
+// freeze profile bundles served on the metrics listener at
+// /debug/profiles, where the driver's -harvest-profiles pulls them —
+// that is how a cross-process trace resolves to per-executor flame data.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/profiler"
 )
 
 func main() {
@@ -51,6 +57,10 @@ func main() {
 	}
 	defer rt.Close()
 	rt.DumpFlightOnSIGQUIT()
+
+	if _, err := profiler.StartFromRuntime(rt, obsFlags); err != nil {
+		rt.Fatal(err)
+	}
 
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The TP/FP fixture pair for the profiler value-set rule: the bad
+// snapshot smuggles free-form reason/path labels and an undeclared class
+// value onto profiler metrics; the ok snapshot is the instrumentation
+// the profiler actually emits.
+
+func TestProfilerLabelRuleTruePositives(t *testing.T) {
+	snap, err := load("testdata/profiler_labels_bad.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := lint(snap, 64)
+	want := []string{
+		`label key "reason" is not declared`,
+		`label key "path" is not declared`,
+		`label class="periodic" is outside the declared value set {anomaly, manual, sample}`,
+	}
+	for _, w := range want {
+		found := false
+		for _, v := range violations {
+			if strings.Contains(v, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing violation %q in:\n%s", w, strings.Join(violations, "\n"))
+		}
+	}
+	// The reason label has only 2 distinct values here — far under the
+	// cardinality bound. The value-set rule is what catches it: this is
+	// exactly the gap the rule exists to close.
+	if len(violations) < len(want) {
+		t.Fatalf("violations = %v", violations)
+	}
+}
+
+func TestProfilerLabelRuleFalsePositives(t *testing.T) {
+	snap, err := load("testdata/profiler_labels_ok.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations := lint(snap, 64); len(violations) != 0 {
+		t.Fatalf("clean profiler snapshot flagged:\n%s", strings.Join(violations, "\n"))
+	}
+}
+
+// TestProfilerRuleScopedToProfilerMetrics guards the blast radius: a
+// "class" or even "reason" label on a non-profiler metric is not this
+// rule's business (the cardinality bound still applies to it).
+func TestProfilerRuleScopedToProfilerMetrics(t *testing.T) {
+	snap, err := load("testdata/profiler_labels_ok.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Counters[0].Name = "sbgt_serve_whatever_total"
+	snap.Counters[0].Labels[0].Key = "reason"
+	snap.Counters[0].Labels[0].Value = "free-form text"
+	if violations := lint(snap, 64); len(violations) != 0 {
+		t.Fatalf("non-profiler metric flagged by profiler rule:\n%s", strings.Join(violations, "\n"))
+	}
+}

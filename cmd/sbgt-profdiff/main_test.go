@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"testing"
+
+	"repro/internal/obs/profiler"
+)
+
+func writeGoroutineProfile(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.Lookup("goroutine").WriteTo(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadTableFromPprofFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "goroutine.pprof")
+	writeGoroutineProfile(t, path)
+	tab, err := loadTable(path, profiler.CPUProfile, "")
+	if err != nil {
+		t.Fatalf("loadTable: %v", err)
+	}
+	if tab.Total == 0 || len(tab.Funcs) == 0 {
+		t.Fatalf("empty table from live goroutine profile: %+v", tab)
+	}
+}
+
+func TestLoadTableFromBundleDir(t *testing.T) {
+	// A real bundle: capture one with the profiler and point loadTable at
+	// the directory.
+	p, err := profiler.New(profiler.Config{Dir: t.TempDir(), CPUWindow: -1, Cooldown: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	meta, err := p.CaptureNow("cli-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundleDir := filepath.Join(p.Dir(), meta.ID)
+	tab, err := loadTable(bundleDir, profiler.GoroutineProfile, "")
+	if err != nil {
+		t.Fatalf("loadTable(bundle): %v", err)
+	}
+	if tab.Total == 0 {
+		t.Fatalf("empty table: %+v", tab)
+	}
+	// A directory without meta.json is rejected, not silently globbed.
+	if _, err := loadTable(t.TempDir(), profiler.GoroutineProfile, ""); err == nil {
+		t.Fatal("non-bundle directory should be rejected")
+	}
+}
+
+func TestLoadTableFromBaselineJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	want := &profiler.ShareTable{
+		SampleType: "cpu/nanoseconds",
+		Total:      100,
+		Funcs:      []profiler.FuncShare{{Name: "kernel", Cum: 0.8, Flat: 0.8}},
+	}
+	if err := profiler.WriteShareTable(path, want, "sha"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadTable(path, profiler.CPUProfile, "")
+	if err != nil {
+		t.Fatalf("loadTable(json): %v", err)
+	}
+	if got.Total != 100 || len(got.Funcs) != 1 || got.Funcs[0].Name != "kernel" {
+		t.Fatalf("baseline round trip = %+v", got)
+	}
+}
+
+func TestSelfDiffIsClean(t *testing.T) {
+	// The CI contract: a capture diffed against itself has a stable clean
+	// exit, whatever the capture contains.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "goroutine.pprof")
+	writeGoroutineProfile(t, path)
+	tab, err := loadTable(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := profiler.Diff(tab, tab, profiler.DiffOptions{})
+	if res.Regressions != 0 {
+		t.Fatalf("self diff regressed: %+v", res)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("diff result not JSON-encodable: %v", err)
+	}
+}

@@ -57,7 +57,12 @@
 //	-seed uint            population seed (default 1)
 //
 // Observability flags (shared across the sbgt commands): -metrics-addr,
-// -log-level, -trace-out, -cpuprofile, -memprofile.
+// -log-level, -trace-out, -cpuprofile, -memprofile, and the continuous
+// profiler's -profile-dir / -profile-interval / -profile-cpu-window.
+// With -profile-dir set, every SLO breach freezes a profile bundle
+// (CPU window + heap/goroutine/mutex) under the same anomaly ID as its
+// flight dump; bundles are browsable on the API listener at
+// /debug/profiles and diffable with sbgt-profdiff.
 package main
 
 import (
@@ -75,6 +80,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/profiler"
 	"repro/internal/serve"
 )
 
@@ -136,6 +142,11 @@ func main() {
 
 	rt.DumpFlightOnSIGQUIT()
 
+	prof, err := profiler.StartFromRuntime(rt, obsFlags)
+	if err != nil {
+		rt.Fatal(err)
+	}
+
 	pool := engine.NewPool(*workers)
 	defer pool.Close()
 	pool.Instrument(rt.Reg)
@@ -193,6 +204,7 @@ func main() {
 		Log:         rt.Log,
 		Flight:      rt.Flight,
 		SLO:         slo,
+		Profiles:    prof.Handler(),
 	})
 
 	lis, err := net.Listen("tcp", *addr)

@@ -1,7 +1,9 @@
 // Command sbgt-top is a terminal live view of a running sbgt-serve (or
-// any sbgt process serving the obs mux): it polls /metrics.json and
-// /debug/flight and renders per-tenant throughput, residency, SLO burn,
-// and the most recent anomaly dump.
+// any sbgt process serving the obs mux): it polls /metrics.json,
+// /debug/flight, and /debug/profiles and renders per-tenant throughput,
+// residency, SLO burn, the most recent anomaly dump, and the profile
+// bundles frozen for it (a server without the continuous profiler just
+// omits that section).
 //
 // Usage:
 //
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profiler"
 )
 
 func main() {
@@ -61,9 +64,10 @@ func main() {
 
 // frame is one poll's worth of server state.
 type frame struct {
-	at      time.Time
-	metrics *obs.Snapshot
-	flight  *obs.FlightSnapshot
+	at       time.Time
+	metrics  *obs.Snapshot
+	flight   *obs.FlightSnapshot
+	profiles *profiler.IndexDoc
 }
 
 func poll(client *http.Client, target string) (*frame, error) {
@@ -73,6 +77,13 @@ func poll(client *http.Client, target string) (*frame, error) {
 	}
 	if err := getJSON(client, target+"/debug/flight", f.flight); err != nil {
 		return nil, err
+	}
+	// /debug/profiles exists only when the continuous profiler is on (and
+	// not at all on older servers) — a failure here degrades the view, it
+	// does not kill it.
+	var idx profiler.IndexDoc
+	if err := getJSON(client, target+"/debug/profiles", &idx); err == nil {
+		f.profiles = &idx
 	}
 	return f, nil
 }
@@ -254,8 +265,8 @@ func render(w *os.File, f, prev *frame) {
 		len(f.flight.Events), f.flight.Dropped, len(f.flight.Anomalies))
 	if n := len(f.flight.Anomalies); n > 0 {
 		d := f.flight.Anomalies[n-1]
-		fmt.Fprintf(w, "last anomaly: %s at %s (%d events captured, %d coalesced)\n",
-			d.Reason, d.Time.Format("15:04:05"), len(d.Events), d.Coalesced)
+		fmt.Fprintf(w, "last anomaly: %s %s at %s (%d events captured, %d coalesced)\n",
+			d.ID, d.Reason, d.Time.Format("15:04:05"), len(d.Events), d.Coalesced)
 		tail := d.Events
 		if len(tail) > 5 {
 			tail = tail[len(tail)-5:]
@@ -273,6 +284,28 @@ func render(w *os.File, f, prev *frame) {
 			}
 			if ev.Err != "" {
 				line += " err=" + ev.Err
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+
+	// Continuous-profiler bundles: the newest few, anomaly IDs first so
+	// an operator can go straight from "last anomaly: aNNNNNN" to its
+	// flame data (GET /debug/profiles?anomaly=aNNNNNN, then sbgt-profdiff).
+	if f.profiles != nil {
+		bundles := f.profiles.Bundles
+		fmt.Fprintf(w, "\nprofiles: %d bundle(s) on /debug/profiles\n", len(bundles))
+		tail := bundles
+		if len(tail) > 4 {
+			tail = tail[len(tail)-4:]
+		}
+		for _, b := range tail {
+			line := fmt.Sprintf("  %s %s %-7s %s", b.Time.Format("15:04:05"), b.ID, b.Class, b.Reason)
+			if b.AnomalyID != "" {
+				line += " anomaly=" + b.AnomalyID
+			}
+			if b.CPUError != "" {
+				line += " cpu-error"
 			}
 			fmt.Fprintln(w, line)
 		}

@@ -4,24 +4,35 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 )
 
 // CLIFlags bundles the observability flags every sbgt command shares:
-// -metrics-addr, -log-level, -trace-out, and the offline profiling pair
-// -cpuprofile / -memprofile. Register them with RegisterFlags, parse,
-// then call Start to materialize the runtime.
+// -metrics-addr, -log-level, -trace-out, the offline profiling pair
+// -cpuprofile / -memprofile, and the continuous-profiler trio
+// -profile-dir / -profile-interval / -profile-cpu-window. Register them
+// with RegisterFlags, parse, then call Start to materialize the runtime.
 type CLIFlags struct {
 	MetricsAddr string
 	LogLevel    string
 	TraceOut    string
 	CPUProfile  string
 	MemProfile  string
+
+	// Continuous profiler (consumed by profiler.StartFromRuntime — the
+	// obs package itself never reads these, the profiler package does, so
+	// the dependency arrow stays profiler → obs).
+	ProfileDir       string
+	ProfileInterval  time.Duration
+	ProfileCPUWindow time.Duration
 }
 
 // RegisterFlags installs the shared observability flags on fs
@@ -41,6 +52,12 @@ func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
 		"write a CPU profile covering Start-to-Close to this file (empty = off)")
 	fs.StringVar(&f.MemProfile, "memprofile", "",
 		"write an allocation profile at Close to this file (empty = off)")
+	fs.StringVar(&f.ProfileDir, "profile-dir", "",
+		"continuous profiler: keep anomaly/background profile bundles in this directory, served on /debug/profiles (empty = off)")
+	fs.DurationVar(&f.ProfileInterval, "profile-interval", 0,
+		"continuous profiler: background capture period (0 = anomaly-triggered captures only)")
+	fs.DurationVar(&f.ProfileCPUWindow, "profile-cpu-window", 0,
+		"continuous profiler: CPU-profile window per capture (0 = default 1s, negative = snapshots only)")
 	return f
 }
 
@@ -59,8 +76,18 @@ type Runtime struct {
 	cpuOut   *os.File // non-nil while a CPU profile is being collected
 	memOut   string
 
+	// profiles delegates /debug/profiles to a handler installed after
+	// Start (the profiler is built on top of the runtime, so the server
+	// necessarily boots first). Holds an http.Handler.
+	profiles atomic.Value
+
 	readyMu  sync.Mutex
 	readyErr error
+
+	closeMu  sync.Mutex
+	closed   bool
+	onClose  []func() error
+	closeErr error
 }
 
 // Start materializes the parsed flags into a Runtime. component tags
@@ -82,7 +109,13 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 	rt.Flight.Instrument(rt.Reg)
 	rt.Flight.LogDumps(rt.Log)
 	if f.MetricsAddr != "" {
-		rt.server, err = Serve(f.MetricsAddr, rt.Reg, rt.Tracer, rt.Flight, rt.Log, rt.ReadyError)
+		rt.server, err = ServeConfig(f.MetricsAddr, MuxConfig{
+			Reg:      rt.Reg,
+			Tracer:   rt.Tracer,
+			Flight:   rt.Flight,
+			Profiles: http.HandlerFunc(rt.serveProfiles),
+			Ready:    []func() error{rt.ReadyError},
+		}, rt.Log)
 		if err != nil {
 			return nil, err
 		}
@@ -100,6 +133,40 @@ func (f *CLIFlags) Start(component string) (*Runtime, error) {
 		rt.cpuOut = out
 	}
 	return rt, nil
+}
+
+// SetProfilesHandler installs the /debug/profiles handler after the
+// metrics server is already up — the continuous profiler is built on top
+// of the runtime, so this indirection closes the loop without an import
+// cycle (obs cannot import internal/obs/profiler).
+func (rt *Runtime) SetProfilesHandler(h http.Handler) {
+	if h == nil {
+		return
+	}
+	rt.profiles.Store(h)
+}
+
+// serveProfiles delegates to the installed profiles handler, or 404s
+// until one exists.
+func (rt *Runtime) serveProfiles(w http.ResponseWriter, req *http.Request) {
+	if h, ok := rt.profiles.Load().(http.Handler); ok {
+		h.ServeHTTP(w, req)
+		return
+	}
+	http.Error(w, "continuous profiler not enabled", http.StatusNotFound)
+}
+
+// OnClose registers fn to run at the head of Close, before the metrics
+// server and profile files are torn down — the hook the continuous
+// profiler uses so an in-flight CPU window finishes before the
+// -cpuprofile flag's StopCPUProfile runs.
+func (rt *Runtime) OnClose(fn func() error) {
+	if fn == nil {
+		return
+	}
+	rt.closeMu.Lock()
+	rt.onClose = append(rt.onClose, fn)
+	rt.closeMu.Unlock()
 }
 
 // SetReadyError flips the runtime's /readyz state: nil means serving,
@@ -155,12 +222,31 @@ func (rt *Runtime) Fatal(err error) {
 	os.Exit(1)
 }
 
-// Close stops the metrics server (if any), finishes the CPU profile and
-// writes the allocation profile (when requested), and writes the trace
-// file (if configured). It returns the first error; commands exiting
-// anyway may log it at warn level.
+// Close runs the registered OnClose hooks, stops the metrics server (if
+// any), finishes the CPU profile and writes the allocation profile (when
+// requested), and writes the trace file (if configured). It returns the
+// first error; commands exiting anyway may log it at warn level. Safe to
+// call concurrently and more than once: one caller does the teardown,
+// the rest wait for it and observe the same result — the shape a
+// SIGTERM drain racing a deferred Close needs.
 func (rt *Runtime) Close() error {
+	rt.closeMu.Lock()
+	defer rt.closeMu.Unlock()
+	if rt.closed {
+		return rt.closeErr
+	}
+	rt.closed = true
+	rt.closeErr = rt.closeLocked()
+	return rt.closeErr
+}
+
+func (rt *Runtime) closeLocked() error {
 	var first error
+	for _, fn := range rt.onClose {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
 	if rt.server != nil {
 		if err := rt.server.Close(); err != nil {
 			first = err

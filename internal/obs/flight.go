@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"sync"
@@ -35,8 +36,12 @@ type flightSlot struct {
 // AnomalyDump is one auto-captured ring snapshot: the trigger reason,
 // when it fired, and the events that led up to it. Dumps are retained in
 // memory (most recent last) and served on /debug/flight so the window
-// around an incident survives the incident.
+// around an incident survives the incident. ID is the anomaly's handle
+// across the forensic surfaces: the same ID names the dump here, the
+// profile bundle the profiler freezes for it, and the sbgt-top line an
+// operator starts from.
 type AnomalyDump struct {
+	ID        string    `json:"id"`
 	Time      time.Time `json:"t"`
 	Reason    string    `json:"reason"`
 	Attrs     []Attr    `json:"attrs,omitempty"`
@@ -68,10 +73,11 @@ type FlightRecorder struct {
 
 	mu        sync.Mutex
 	anomalies []AnomalyDump
+	anomSeq   uint64
 	lastFire  map[string]time.Time
 	cooldown  time.Duration
 	clock     func() time.Time
-	onDump    func(AnomalyDump)
+	onDump    []func(AnomalyDump)
 
 	mEvents   *Counter
 	mDumps    *Counter
@@ -134,14 +140,15 @@ func (r *FlightRecorder) SetClock(clock func() time.Time) {
 }
 
 // OnDump registers a callback invoked (under the recorder's lock, keep it
-// cheap) for every anomaly dump — the hook commands use to log dumps as
-// they happen.
+// cheap — hand real work to a channel) for every anomaly dump. Hooks
+// accumulate: the logger and the continuous profiler both observe the
+// same dump stream.
 func (r *FlightRecorder) OnDump(fn func(AnomalyDump)) {
-	if r == nil {
+	if r == nil || fn == nil {
 		return
 	}
 	r.mu.Lock()
-	r.onDump = fn
+	r.onDump = append(r.onDump, fn)
 	r.mu.Unlock()
 }
 
@@ -248,8 +255,12 @@ func (r *FlightRecorder) TriggerAnomaly(reason string, attrs ...Attr) bool {
 		return false
 	}
 	r.lastFire[reason] = now
+	r.anomSeq++
 	events, _ := r.events()
-	dump := AnomalyDump{Time: now, Reason: reason, Attrs: attrs, Events: events}
+	dump := AnomalyDump{
+		ID:     fmt.Sprintf("a%06d", r.anomSeq),
+		Time:   now, Reason: reason, Attrs: attrs, Events: events,
+	}
 	r.anomalies = append(r.anomalies, dump)
 	if len(r.anomalies) > maxAnomalyDumps {
 		r.anomalies = append(r.anomalies[:0], r.anomalies[len(r.anomalies)-maxAnomalyDumps:]...)
@@ -257,9 +268,8 @@ func (r *FlightRecorder) TriggerAnomaly(reason string, attrs ...Attr) bool {
 	if r.mDumps != nil {
 		r.mDumps.Inc()
 	}
-	onDump := r.onDump
-	if onDump != nil {
-		onDump(dump)
+	for _, fn := range r.onDump {
+		fn(dump)
 	}
 	r.mu.Unlock()
 	return true
@@ -291,7 +301,7 @@ func (r *FlightRecorder) LogDumps(log *slog.Logger) {
 		return
 	}
 	r.OnDump(func(d AnomalyDump) {
-		args := []any{"reason", d.Reason, "events", len(d.Events)}
+		args := []any{"anomaly", d.ID, "reason", d.Reason, "events", len(d.Events)}
 		for _, a := range d.Attrs {
 			args = append(args, a.Key, a.Value)
 		}

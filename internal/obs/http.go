@@ -25,6 +25,8 @@ import (
 //	/spans          JSON {"dropped": n, "spans": [...]} of the tracer's
 //	                buffered spans plus its retention-bound eviction count
 //	/debug/flight   flight-recorder snapshot: recent events + anomaly dumps
+//	/debug/profiles continuous-profiler bundle store (only when a Profiles
+//	                handler is mounted via MuxConfig)
 //	/debug/pprof/*  net/http/pprof profiles
 //
 // Liveness and readiness are distinct probes: /healthz answers "is the
@@ -42,8 +44,32 @@ import (
 // importing this package never leaks pprof onto a server the caller did
 // not ask for.
 func NewMux(reg *Registry, tracer *Tracer, flight *FlightRecorder, ready ...func() error) *http.ServeMux {
+	return NewMuxConfig(MuxConfig{Reg: reg, Tracer: tracer, Flight: flight, Ready: ready})
+}
+
+// MuxConfig is the full-surface form of NewMux for callers that mount
+// optional endpoints. Profiles, when non-nil, is served under
+// /debug/profiles (the continuous profiler's bundle store; this package
+// cannot import internal/obs/profiler — the profiler imports obs — so
+// the handler arrives as a plain http.Handler).
+type MuxConfig struct {
+	Reg      *Registry
+	Tracer   *Tracer
+	Flight   *FlightRecorder
+	Profiles http.Handler
+	Ready    []func() error
+}
+
+// NewMuxConfig builds the observability mux from an explicit config.
+func NewMuxConfig(cfg MuxConfig) *http.ServeMux {
+	reg, tracer, flight, ready := cfg.Reg, cfg.Tracer, cfg.Flight, cfg.Ready
 	RegisterRuntimeMetrics(reg)
 	mux := http.NewServeMux()
+	if cfg.Profiles != nil {
+		h := http.StripPrefix("/debug/profiles", cfg.Profiles)
+		mux.Handle("/debug/profiles", h)
+		mux.Handle("/debug/profiles/", h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		var snap *Snapshot
 		if reg != nil {
@@ -137,13 +163,19 @@ type Server struct {
 // Server reports the bound address and shuts the listener down on Close.
 // log, if non-nil, receives a startup line and any serve failure.
 func Serve(addr string, reg *Registry, tracer *Tracer, flight *FlightRecorder, log *slog.Logger, ready ...func() error) (*Server, error) {
+	return ServeConfig(addr, MuxConfig{Reg: reg, Tracer: tracer, Flight: flight, Ready: ready}, log)
+}
+
+// ServeConfig is Serve over an explicit MuxConfig (the form that mounts
+// /debug/profiles).
+func ServeConfig(addr string, cfg MuxConfig, log *slog.Logger) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	log = OrNop(log)
 	srv := &http.Server{
-		Handler:           NewMux(reg, tracer, flight, ready...),
+		Handler:           NewMuxConfig(cfg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	s := &Server{lis: lis, srv: srv}

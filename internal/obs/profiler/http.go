@@ -1,0 +1,191 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// /debug/profiles — the bundle store's HTTP surface, mounted by
+// obs.NewMux via Handler(). Three routes:
+//
+//	GET .../            index: {"bundles":[meta...]}, ?anomaly=aNNNNNN filters
+//	GET .../{id}        one bundle's meta.json
+//	GET .../{id}/{file} raw profile bytes (go tool pprof-able)
+//
+// The same routes are what Harvest walks when the driver pulls bundles
+// off remote executors, so the browse surface and the harvest protocol
+// are one implementation.
+
+// IndexDoc is the /debug/profiles index payload.
+type IndexDoc struct {
+	Bundles []BundleMeta `json:"bundles"`
+}
+
+// Handler serves the bundle store. The mux strips the mount prefix, so
+// paths here are "/", "/{id}", "/{id}/{file}". Nil-safe: a nil profiler
+// yields 404s.
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p == nil {
+			http.Error(w, "profiler not enabled", http.StatusNotFound)
+			return
+		}
+		parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+		switch {
+		case len(parts) == 1 && parts[0] == "":
+			p.serveIndex(w, r)
+		case len(parts) == 1:
+			p.serveMeta(w, parts[0])
+		case len(parts) == 2:
+			p.serveProfile(w, parts[0], parts[1])
+		default:
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+	})
+}
+
+func (p *Profiler) serveIndex(w http.ResponseWriter, r *http.Request) {
+	bundles := p.Bundles()
+	if anom := r.URL.Query().Get("anomaly"); anom != "" {
+		kept := bundles[:0]
+		for _, b := range bundles {
+			if b.AnomalyID == anom {
+				kept = append(kept, b)
+			}
+		}
+		bundles = kept
+	}
+	if bundles == nil {
+		bundles = []BundleMeta{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&IndexDoc{Bundles: bundles}) //lint:allow errcheck response write errors are the client's problem
+}
+
+func (p *Profiler) serveMeta(w http.ResponseWriter, id string) {
+	meta, ok := p.Lookup(id)
+	if !ok {
+		http.Error(w, "no such bundle", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(meta) //lint:allow errcheck response write errors are the client's problem
+}
+
+func (p *Profiler) serveProfile(w http.ResponseWriter, id, name string) {
+	// Open checks the name against the bundle's meta, so a traversal path
+	// ("../..") can never reach the filesystem.
+	f, err := p.Open(id, name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f) //lint:allow errcheck response write errors are the client's problem
+}
+
+// Harvest pulls every profile bundle a remote process serves on
+// base+"/debug/profiles" into dest (one directory per bundle, same
+// layout as a local store, so harvested bundles feed sbgt-profdiff and
+// re-scan like local ones). Returns the harvested metas. Bundles that
+// already exist locally are skipped, so repeated harvests are
+// incremental.
+func Harvest(client *http.Client, base, dest string) ([]BundleMeta, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base = strings.TrimSuffix(base, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	var idx IndexDoc
+	if err := getJSON(client, base+"/debug/profiles", &idx); err != nil {
+		return nil, fmt.Errorf("profiler: harvest index: %w", err)
+	}
+	if err := os.MkdirAll(dest, 0o755); err != nil {
+		return nil, fmt.Errorf("profiler: harvest dest: %w", err)
+	}
+	var got []BundleMeta
+	for _, meta := range idx.Bundles {
+		dir := filepath.Join(dest, meta.ID)
+		if _, err := os.Stat(filepath.Join(dir, MetaFile)); err == nil {
+			continue // already harvested
+		}
+		tmp, err := os.MkdirTemp(dest, ".harvest-*")
+		if err != nil {
+			return got, err
+		}
+		if err := harvestBundle(client, base, meta, tmp); err != nil {
+			os.RemoveAll(tmp) //lint:allow errcheck best-effort cleanup of the partial pull
+			return got, fmt.Errorf("profiler: harvest %s: %w", meta.ID, err)
+		}
+		if err := os.Rename(tmp, dir); err != nil {
+			os.RemoveAll(tmp) //lint:allow errcheck best-effort cleanup of the partial pull
+			return got, fmt.Errorf("profiler: harvest %s: %w", meta.ID, err)
+		}
+		got = append(got, meta)
+	}
+	return got, nil
+}
+
+func harvestBundle(client *http.Client, base string, meta BundleMeta, dir string) error {
+	raw, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, MetaFile), raw, 0o644); err != nil {
+		return err
+	}
+	for name := range meta.Profiles {
+		if name == MetaFile || strings.Contains(name, "/") || strings.Contains(name, "..") {
+			continue // never let a remote meta steer local paths
+		}
+		url := fmt.Sprintf("%s/debug/profiles/%s/%s", base, meta.ID, name)
+		if err := getFile(client, url, filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func getFile(client *http.Client, url, path string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

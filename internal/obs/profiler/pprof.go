@@ -1,0 +1,546 @@
+package profiler
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// This file is a minimal reader for the pprof profile.proto wire format
+// — just enough to turn a gzipped profile into per-function cumulative
+// shares for sbgt-profdiff. The repo is dependency-free by policy, so
+// instead of importing github.com/google/pprof we decode the handful of
+// protobuf fields the share computation needs: string table, sample
+// types, samples (location IDs + values), locations (line → function),
+// and function names. Everything else in the message is skipped field
+// by field, which also keeps the reader robust against future additions
+// to the format.
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	// SampleTypes names each value column, e.g. [{samples,count},{cpu,nanoseconds}].
+	SampleTypes []ValueType
+	// Samples are the raw stacks; LocationIDs[0] is the leaf frame.
+	Samples []Sample
+	// TimeNanos/DurationNanos/Period are carried through for display.
+	TimeNanos     int64
+	DurationNanos int64
+	Period        int64
+
+	strings   []string
+	locations map[uint64][]uint64 // location id -> function ids (inline chain)
+	functions map[uint64]string   // function id -> name
+}
+
+// ValueType names one sample value column.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one stack with its values.
+type Sample struct {
+	LocationIDs []uint64
+	Values      []int64
+}
+
+// ParseProfile reads a gzipped (or raw) profile.proto message.
+func ParseProfile(r io.Reader) (*Profile, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: read profile: %w", err)
+	}
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("profiler: gunzip profile: %w", err)
+		}
+		if raw, err = io.ReadAll(gz); err != nil {
+			return nil, fmt.Errorf("profiler: gunzip profile: %w", err)
+		}
+	}
+	p := &Profile{
+		locations: make(map[uint64][]uint64),
+		functions: make(map[uint64]string),
+	}
+	if err := p.decode(raw); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseProfileFile is ParseProfile over a path.
+func ParseProfileFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseProfile(f)
+}
+
+// --- protobuf wire-format primitives ---
+
+type wireReader struct {
+	buf []byte
+	pos int
+}
+
+func (w *wireReader) done() bool { return w.pos >= len(w.buf) }
+
+func (w *wireReader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if w.pos >= len(w.buf) {
+			return 0, fmt.Errorf("profiler: truncated varint")
+		}
+		b := w.buf[w.pos]
+		w.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("profiler: varint overflow")
+}
+
+// field reads one tag and returns (fieldNum, wireType).
+func (w *wireReader) field() (int, int, error) {
+	tag, err := w.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// bytesField reads a length-delimited payload.
+func (w *wireReader) bytesField() ([]byte, error) {
+	n, err := w.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(w.buf)-w.pos) {
+		return nil, fmt.Errorf("profiler: truncated bytes field")
+	}
+	out := w.buf[w.pos : w.pos+int(n)]
+	w.pos += int(n)
+	return out, nil
+}
+
+// skip consumes one value of the given wire type.
+func (w *wireReader) skip(wt int) error {
+	switch wt {
+	case 0: // varint
+		_, err := w.varint()
+		return err
+	case 1: // fixed64
+		if len(w.buf)-w.pos < 8 {
+			return fmt.Errorf("profiler: truncated fixed64")
+		}
+		w.pos += 8
+		return nil
+	case 2: // length-delimited
+		_, err := w.bytesField()
+		return err
+	case 5: // fixed32
+		if len(w.buf)-w.pos < 4 {
+			return fmt.Errorf("profiler: truncated fixed32")
+		}
+		w.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("profiler: unsupported wire type %d", wt)
+	}
+}
+
+// repeatedVarints decodes a repeated integer field that may arrive
+// packed (one length-delimited blob) or unpacked (one varint per tag).
+func repeatedVarints(w *wireReader, wt int, into []uint64) ([]uint64, error) {
+	if wt == 0 {
+		v, err := w.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	blob, err := w.bytesField()
+	if err != nil {
+		return nil, err
+	}
+	inner := &wireReader{buf: blob}
+	for !inner.done() {
+		v, err := inner.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+// --- profile.proto message decoding ---
+
+// Field numbers from profile.proto (github.com/google/pprof).
+const (
+	fProfileSampleType = 1
+	fProfileSample     = 2
+	fProfileLocation   = 4
+	fProfileFunction   = 5
+	fProfileStringTab  = 6
+	fProfileTimeNanos  = 9
+	fProfileDuration   = 10
+	fProfilePeriod     = 12
+
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+
+	fSampleLocationID = 1
+	fSampleValue      = 2
+
+	fLocationID   = 1
+	fLocationLine = 4
+
+	fLineFunctionID = 1
+
+	fFunctionID   = 1
+	fFunctionName = 2
+)
+
+func (p *Profile) decode(raw []byte) error {
+	w := &wireReader{buf: raw}
+	var valueTypes, samples, locations, functions [][]byte
+	for !w.done() {
+		num, wt, err := w.field()
+		if err != nil {
+			return err
+		}
+		switch num {
+		case fProfileSampleType, fProfileSample, fProfileLocation, fProfileFunction, fProfileStringTab:
+			blob, err := w.bytesField()
+			if err != nil {
+				return err
+			}
+			switch num {
+			case fProfileSampleType:
+				valueTypes = append(valueTypes, blob)
+			case fProfileSample:
+				samples = append(samples, blob)
+			case fProfileLocation:
+				locations = append(locations, blob)
+			case fProfileFunction:
+				functions = append(functions, blob)
+			case fProfileStringTab:
+				p.strings = append(p.strings, string(blob))
+			}
+		case fProfileTimeNanos, fProfileDuration, fProfilePeriod:
+			v, err := w.varint()
+			if err != nil {
+				return err
+			}
+			switch num {
+			case fProfileTimeNanos:
+				p.TimeNanos = int64(v)
+			case fProfileDuration:
+				p.DurationNanos = int64(v)
+			case fProfilePeriod:
+				p.Period = int64(v)
+			}
+		default:
+			if err := w.skip(wt); err != nil {
+				return err
+			}
+		}
+	}
+	// Sub-messages decode after the string table is complete (the table
+	// may appear after its referents in the stream).
+	for _, blob := range functions {
+		if err := p.decodeFunction(blob); err != nil {
+			return err
+		}
+	}
+	for _, blob := range locations {
+		if err := p.decodeLocation(blob); err != nil {
+			return err
+		}
+	}
+	for _, blob := range valueTypes {
+		vt, err := p.decodeValueType(blob)
+		if err != nil {
+			return err
+		}
+		p.SampleTypes = append(p.SampleTypes, vt)
+	}
+	for _, blob := range samples {
+		if err := p.decodeSample(blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Profile) str(idx uint64) string {
+	if idx < uint64(len(p.strings)) {
+		return p.strings[idx]
+	}
+	return ""
+}
+
+func (p *Profile) decodeValueType(blob []byte) (ValueType, error) {
+	var vt ValueType
+	w := &wireReader{buf: blob}
+	for !w.done() {
+		num, wt, err := w.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case fValueTypeType, fValueTypeUnit:
+			v, err := w.varint()
+			if err != nil {
+				return vt, err
+			}
+			if num == fValueTypeType {
+				vt.Type = p.str(v)
+			} else {
+				vt.Unit = p.str(v)
+			}
+		default:
+			if err := w.skip(wt); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func (p *Profile) decodeSample(blob []byte) error {
+	var s Sample
+	w := &wireReader{buf: blob}
+	var vals []uint64
+	for !w.done() {
+		num, wt, err := w.field()
+		if err != nil {
+			return err
+		}
+		switch num {
+		case fSampleLocationID:
+			if s.LocationIDs, err = repeatedVarints(w, wt, s.LocationIDs); err != nil {
+				return err
+			}
+		case fSampleValue:
+			if vals, err = repeatedVarints(w, wt, vals); err != nil {
+				return err
+			}
+		default:
+			if err := w.skip(wt); err != nil {
+				return err
+			}
+		}
+	}
+	s.Values = make([]int64, len(vals))
+	for i, v := range vals {
+		s.Values[i] = int64(v)
+	}
+	p.Samples = append(p.Samples, s)
+	return nil
+}
+
+func (p *Profile) decodeLocation(blob []byte) error {
+	var id uint64
+	var funcs []uint64
+	w := &wireReader{buf: blob}
+	for !w.done() {
+		num, wt, err := w.field()
+		if err != nil {
+			return err
+		}
+		switch num {
+		case fLocationID:
+			if id, err = w.varint(); err != nil {
+				return err
+			}
+		case fLocationLine:
+			line, err := w.bytesField()
+			if err != nil {
+				return err
+			}
+			lw := &wireReader{buf: line}
+			for !lw.done() {
+				lnum, lwt, err := lw.field()
+				if err != nil {
+					return err
+				}
+				if lnum == fLineFunctionID {
+					fid, err := lw.varint()
+					if err != nil {
+						return err
+					}
+					funcs = append(funcs, fid)
+				} else if err := lw.skip(lwt); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := w.skip(wt); err != nil {
+				return err
+			}
+		}
+	}
+	p.locations[id] = funcs
+	return nil
+}
+
+func (p *Profile) decodeFunction(blob []byte) error {
+	var id, nameIdx uint64
+	w := &wireReader{buf: blob}
+	for !w.done() {
+		num, wt, err := w.field()
+		if err != nil {
+			return err
+		}
+		switch num {
+		case fFunctionID:
+			if id, err = w.varint(); err != nil {
+				return err
+			}
+		case fFunctionName:
+			if nameIdx, err = w.varint(); err != nil {
+				return err
+			}
+		default:
+			if err := w.skip(wt); err != nil {
+				return err
+			}
+		}
+	}
+	p.functions[id] = p.str(nameIdx)
+	return nil
+}
+
+// FuncsAt resolves one location ID to its function names (inline chain,
+// leaf-most first; synthetic "loc#<id>" when symbols are absent).
+func (p *Profile) FuncsAt(loc uint64) []string {
+	fids := p.locations[loc]
+	if len(fids) == 0 {
+		return []string{fmt.Sprintf("loc#%d", loc)}
+	}
+	out := make([]string, 0, len(fids))
+	for _, fid := range fids {
+		if name := p.functions[fid]; name != "" {
+			out = append(out, name)
+		} else {
+			out = append(out, fmt.Sprintf("func#%d", fid))
+		}
+	}
+	return out
+}
+
+// --- share tables ---
+
+// FuncShare is one row of a ShareTable.
+type FuncShare struct {
+	Name string  `json:"name"`
+	Flat float64 `json:"flat"` // share of total attributed to this function as leaf
+	Cum  float64 `json:"cum"`  // share of total with this function anywhere on the stack
+}
+
+// ShareTable is the per-function decomposition of one profile's sample
+// values, normalized to [0,1] shares — the unit sbgt-profdiff compares
+// and the baseline file records.
+type ShareTable struct {
+	SampleType string      `json:"sample_type"` // e.g. "cpu/nanoseconds"
+	Total      int64       `json:"total"`
+	Funcs      []FuncShare `json:"funcs"` // sorted by Cum descending
+}
+
+// valueIndex picks the value column to aggregate: the named type when
+// given, else "cpu" when present, else the last column (pprof
+// convention: the default sample type comes last).
+func (p *Profile) valueIndex(sampleType string) (int, error) {
+	if len(p.SampleTypes) == 0 {
+		// Untyped profile: only a single column of values is meaningful.
+		return 0, nil
+	}
+	if sampleType != "" {
+		for i, st := range p.SampleTypes {
+			if st.Type == sampleType {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("profiler: profile has no sample type %q (has %v)", sampleType, p.SampleTypes)
+	}
+	for i, st := range p.SampleTypes {
+		if st.Type == "cpu" {
+			return i, nil
+		}
+	}
+	return len(p.SampleTypes) - 1, nil
+}
+
+// Table aggregates the profile into per-function flat and cumulative
+// shares of the chosen sample type ("" picks cpu, else the profile's
+// default column).
+func (p *Profile) Table(sampleType string) (*ShareTable, error) {
+	idx, err := p.valueIndex(sampleType)
+	if err != nil {
+		return nil, err
+	}
+	label := "values"
+	if idx < len(p.SampleTypes) {
+		label = p.SampleTypes[idx].Type + "/" + p.SampleTypes[idx].Unit
+	}
+	var total int64
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	for _, s := range p.Samples {
+		if idx >= len(s.Values) {
+			continue
+		}
+		v := s.Values[idx]
+		if v == 0 {
+			continue
+		}
+		total += v
+		// Cumulative: each function charged once per sample, however many
+		// frames it occupies (recursion must not double-count).
+		seen := map[string]bool{}
+		for fi, loc := range s.LocationIDs {
+			for li, name := range p.FuncsAt(loc) {
+				if fi == 0 && li == 0 {
+					flat[name] += v // leaf-most frame of leaf location
+				}
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+	t := &ShareTable{SampleType: label, Total: total}
+	for name, c := range cum {
+		fs := FuncShare{Name: name, Cum: share(c, total), Flat: share(flat[name], total)}
+		t.Funcs = append(t.Funcs, fs)
+	}
+	sort.Slice(t.Funcs, func(i, j int) bool {
+		if t.Funcs[i].Cum != t.Funcs[j].Cum { //lint:allow floats exact inequality is a deterministic sort tie-break, not a numeric test
+			return t.Funcs[i].Cum > t.Funcs[j].Cum
+		}
+		return t.Funcs[i].Name < t.Funcs[j].Name
+	})
+	return t, nil
+}
+
+func share(v, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	f := float64(v) / float64(total)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,38 @@
+package profiler
+
+import (
+	"repro/internal/obs"
+)
+
+// StartFromRuntime builds and starts a profiler from a command's parsed
+// obs flags, closing the loop the obs package cannot (it would be an
+// import cycle): the profiler's bundle store mounts on the runtime's
+// /debug/profiles route, anomaly dumps from the runtime's flight
+// recorder trigger captures, and Runtime.Close drains the profiler
+// first so an in-flight CPU window never collides with the -cpuprofile
+// flag's StopCPUProfile.
+//
+// Returns (nil, nil) when -profile-dir is unset — a nil *Profiler is
+// safe to use, so callers need no conditional.
+func StartFromRuntime(rt *obs.Runtime, f *obs.CLIFlags) (*Profiler, error) {
+	if f == nil || f.ProfileDir == "" {
+		return nil, nil
+	}
+	p, err := New(Config{
+		Dir:       f.ProfileDir,
+		Interval:  f.ProfileInterval,
+		CPUWindow: f.ProfileCPUWindow,
+		Reg:       rt.Reg,
+		Flight:    rt.Flight,
+		Log:       rt.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	rt.SetProfilesHandler(p.Handler())
+	rt.OnClose(p.Close)
+	rt.Log.Info("profiler: continuous profiling enabled",
+		"dir", f.ProfileDir, "interval", f.ProfileInterval, "cpu_window", f.ProfileCPUWindow)
+	return p, nil
+}

@@ -1,0 +1,145 @@
+package obs_test
+
+// External-package test so it can wire internal/obs/profiler on top of
+// the Runtime the way command mains do — the obs package itself cannot
+// import the profiler (the dependency arrow goes the other way).
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/profiler"
+)
+
+// TestRuntimeCloseOrdering boots a Runtime the way sbgt-exec does —
+// -cpuprofile AND -metrics-addr AND -profile-dir together — then races
+// Close from concurrent goroutines against a SIGTERM-style readiness
+// drain. It pins three contracts:
+//
+//   - OnClose hooks (the profiler) run before StopCPUProfile, so the
+//     -cpuprofile file is a complete, parseable pprof document even when
+//     the continuous profiler was live.
+//   - Close is idempotent and concurrency-safe: every caller observes
+//     the same result and the teardown runs once.
+//   - After Close returns, the metrics listener is down.
+func TestRuntimeCloseOrdering(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	f := &obs.CLIFlags{
+		MetricsAddr:      "127.0.0.1:0",
+		LogLevel:         "error",
+		CPUProfile:       cpuPath,
+		ProfileDir:       filepath.Join(dir, "profiles"),
+		ProfileCPUWindow: 50 * time.Millisecond,
+	}
+	rt, err := f.Start("obs-close-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profiler.StartFromRuntime(rt, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil {
+		t.Fatal("profiler not started despite -profile-dir")
+	}
+
+	// A manual capture while the flag-owned CPU profile is running: the
+	// window must fail over gracefully (runtime/pprof is exclusive) but
+	// the snapshot bundle still lands and is served over the runtime's
+	// /debug/profiles indirection.
+	meta, err := prof.CaptureNow("close-ordering-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.CPUError == "" {
+		t.Error("expected CPUError while -cpuprofile owns the CPU profiler")
+	}
+	base := "http://" + rt.MetricsAddr()
+	resp, err := http.Get(base + "/debug/profiles/" + meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:allow errcheck test teardown of a response body
+	io.Copy(io.Discard, resp.Body)
+	//lint:allow errcheck test teardown of a response body
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/debug/profiles/%s: status %d", base, meta.ID, resp.StatusCode)
+	}
+
+	// Race the deferred-Close path against a SIGTERM drain: one goroutine
+	// plays the signal handler (flip readiness, then Close), the others
+	// are deferred Closes firing at process exit.
+	const closers = 3
+	errs := make([]error, closers)
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				rt.SetReadyError(fmt.Errorf("draining"))
+			}
+			errs[i] = rt.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Errorf("Close[%d] = %v, want the shared result %v", i, err, errs[0])
+		}
+	}
+	if errs[0] != nil {
+		t.Fatalf("Close: %v", errs[0])
+	}
+	// A late straggler (a second deferred Close) sees the cached result.
+	if err := rt.Close(); err != nil {
+		t.Fatalf("repeat Close: %v", err)
+	}
+
+	// The -cpuprofile file must be a finished pprof document: gzip
+	// terminated, string table intact. If an OnClose hook ran after
+	// StopCPUProfile — or teardown raced itself — this parse fails.
+	p, err := profiler.ParseProfileFile(cpuPath)
+	if err != nil {
+		t.Fatalf("parse -cpuprofile output: %v", err)
+	}
+	if len(p.SampleTypes) == 0 {
+		t.Error("-cpuprofile output has no sample types")
+	}
+	if fi, err := os.Stat(cpuPath); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile stat: %v size %d", err, fi.Size())
+	}
+
+	// Listener is gone: the drain completed before Close returned.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("metrics listener still accepting connections after Close")
+	}
+}
+
+// TestRuntimeCloseWithoutServer covers the flags-off shape (no metrics
+// addr, no profiles): Close must still be idempotent and error-free.
+func TestRuntimeCloseWithoutServer(t *testing.T) {
+	f := &obs.CLIFlags{LogLevel: "error"}
+	rt, err := f.Start("obs-close-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.MetricsAddr() != "" {
+		t.Errorf("MetricsAddr = %q, want empty", rt.MetricsAddr())
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -223,14 +223,18 @@ func (m *Manager) evictIfIdle(c *cohort, cutoff time.Time) {
 	if c.sess == nil || c.deleted || c.lastUsed.After(cutoff) {
 		return
 	}
-	if err := m.checkpointLocked(c); err != nil {
+	if err := m.checkpointLocked(c, "idle"); err != nil {
 		m.cfg.Log.Error("serve: idle eviction failed", "cohort", c.id, "err", err)
 	}
 }
 
 // checkpointLocked writes c's session to disk and releases the resident
-// posterior. Caller holds c.mu and c.sess != nil.
-func (m *Manager) checkpointLocked(c *cohort) error {
+// posterior. Caller holds c.mu and c.sess != nil. reason says why the
+// cohort is leaving residency — "idle" (sweep), "lru" (evicted to make
+// room), or "drain" — and rides the flight event so an anomaly dump
+// shows not just that residency churned but what drove it.
+func (m *Manager) checkpointLocked(c *cohort, reason string) error {
+	start := time.Now()
 	f, err := os.CreateTemp(m.cfg.Dir, c.id+".tmp*")
 	if err != nil {
 		return err
@@ -253,8 +257,11 @@ func (m *Manager) checkpointLocked(c *cohort) error {
 	m.resident.Add(-1)
 	gaugeAdd(m.mResident, -1)
 	inc(m.mEvicted)
-	m.cfg.Flight.Record(obs.Event{Kind: "evict", Tenant: c.tenant, Cohort: c.id})
-	m.cfg.Log.Debug("serve: cohort checkpointed", "cohort", c.id)
+	m.cfg.Flight.Record(obs.Event{
+		Kind: "evict", Tenant: c.tenant, Cohort: c.id, Dur: time.Since(start),
+		Attrs: []obs.Attr{obs.A("reason", reason)},
+	})
+	m.cfg.Log.Debug("serve: cohort checkpointed", "cohort", c.id, "reason", reason)
 	return nil
 }
 
@@ -265,6 +272,7 @@ func (m *Manager) path(id string) string {
 // restoreLocked loads c's session back from disk. Caller holds c.mu and
 // c.sess == nil.
 func (m *Manager) restoreLocked(c *cohort) error {
+	start := time.Now()
 	f, err := os.Open(m.path(c.id))
 	if err != nil {
 		return fmt.Errorf("serve: restore %s: %w", c.id, err)
@@ -278,7 +286,10 @@ func (m *Manager) restoreLocked(c *cohort) error {
 	m.resident.Add(1)
 	gaugeAdd(m.mResident, 1)
 	inc(m.mRestored)
-	m.cfg.Flight.Record(obs.Event{Kind: "restore", Tenant: c.tenant, Cohort: c.id})
+	m.cfg.Flight.Record(obs.Event{
+		Kind: "restore", Tenant: c.tenant, Cohort: c.id, Dur: time.Since(start),
+		Attrs: []obs.Attr{obs.A("reason", "demand")},
+	})
 	m.cfg.Log.Debug("serve: cohort restored", "cohort", c.id)
 	return nil
 }
@@ -304,7 +315,7 @@ func (m *Manager) makeRoom() {
 		}
 		victim.mu.Lock()
 		if victim.sess != nil && !victim.deleted {
-			if err := m.checkpointLocked(victim); err != nil {
+			if err := m.checkpointLocked(victim, "lru"); err != nil {
 				m.cfg.Log.Error("serve: LRU eviction failed", "cohort", victim.id, "err", err)
 				victim.mu.Unlock()
 				return
@@ -561,7 +572,7 @@ func (m *Manager) Drain() (int, error) {
 	for _, c := range m.snapshot() {
 		c.mu.Lock()
 		if c.sess != nil && !c.deleted {
-			if err := m.checkpointLocked(c); err != nil {
+			if err := m.checkpointLocked(c, "drain"); err != nil {
 				m.cfg.Log.Error("serve: drain checkpoint failed", "cohort", c.id, "err", err)
 				if first == nil {
 					first = err

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dilution"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -109,6 +110,74 @@ func TestManagerLifecycle(t *testing.T) {
 	}
 	if err := m.Delete(id); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// TestResidencyFlightEvents pins the forensic shape of residency churn:
+// every evict-to-checkpoint and restore-on-demand lands in the flight
+// recorder stamped with tenant, cohort, the reason it happened
+// (lru/idle/drain for evicts, demand for restores), and how long the
+// checkpoint or load took — so an anomaly dump shows whether churn
+// drove a latency breach.
+func TestResidencyFlightEvents(t *testing.T) {
+	flight := obs.NewFlightRecorder(256)
+	m := newTestManager(t, ManagerConfig{MaxResident: 1, Flight: flight})
+	risks := workload.UniformRisks(6, 0.1)
+
+	a, err := m.Create(CreateCohortRequest{Tenant: "ta", Risks: risks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(CreateCohortRequest{Tenant: "tb", Risks: risks}); err != nil {
+		t.Fatal(err)
+	}
+	// Touching a forces a restore (it was LRU-evicted when b arrived).
+	if _, err := m.Pools(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	reason := func(ev obs.Event) string {
+		for _, at := range ev.Attrs {
+			if at.Key == "reason" {
+				if s, ok := at.Value.(string); ok {
+					return s
+				}
+			}
+		}
+		return ""
+	}
+	evicts := map[string]obs.Event{} // reason -> example event
+	var restore *obs.Event
+	for _, ev := range flight.Snapshot().Events {
+		switch ev.Kind {
+		case "evict":
+			evicts[reason(ev)] = ev
+		case "restore":
+			restore = &ev
+		}
+	}
+	lru, ok := evicts["lru"]
+	if !ok {
+		t.Fatalf("no lru evict event: %+v", evicts)
+	}
+	if lru.Tenant == "" || lru.Cohort == "" || lru.Dur <= 0 {
+		t.Fatalf("lru evict missing identity or duration: %+v", lru)
+	}
+	drain, ok := evicts["drain"]
+	if !ok {
+		t.Fatalf("no drain evict event: %+v", evicts)
+	}
+	if drain.Dur <= 0 {
+		t.Fatalf("drain evict has no duration: %+v", drain)
+	}
+	if restore == nil {
+		t.Fatal("no restore event")
+	}
+	if reason(*restore) != "demand" || restore.Tenant != "ta" || restore.Cohort != a || restore.Dur <= 0 {
+		t.Fatalf("restore event = %+v", restore)
 	}
 }
 

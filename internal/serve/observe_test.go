@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net/http"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profiler"
 	"repro/internal/workload"
 )
 
@@ -189,6 +194,184 @@ func TestInducedAnomalyExactlyOneDump(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/readyz = %d after recovery, want 200", resp.StatusCode)
+	}
+}
+
+// TestForensicChainBreachToFlameDiff is the PR's acceptance test: one
+// induced SLO breach yields exactly one anomaly ID, and from that single
+// ID an operator can pull — over HTTP, from the same listener that took
+// the traffic — the flight dump, the offending request's assembled
+// trace, AND a frozen profile bundle (CPU + goroutine) stamped with the
+// same anomaly ID, then flame-diff it against a quiet baseline with a
+// stable result.
+func TestForensicChainBreachToFlameDiff(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(256)
+	flight := obs.NewFlightRecorder(64)
+	flight.SetCooldown(0)
+
+	prof, err := profiler.New(profiler.Config{
+		Dir:       t.TempDir(),
+		CPUWindow: 30 * time.Millisecond,
+		Cooldown:  -1,
+		Reg:       reg,
+		Flight:    flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Start()
+	defer prof.Close()
+
+	slo, err := obs.NewSLO(reg, flight, []obs.Objective{{
+		Name:     "p99_request",
+		Metric:   "sbgt_serve_request_seconds",
+		Quantile: 0.99,
+		Target:   1e-9,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t,
+		ManagerConfig{Obs: reg, Tracer: tracer, Flight: flight},
+		ServerConfig{Obs: reg, Tracer: tracer, Flight: flight, SLO: slo, Profiles: prof.Handler()})
+
+	// Freeze the quiet baseline before any traffic misbehaves — the
+	// "last known good" side of the flame diff.
+	baseline, err := prof.CaptureNow("quiet-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slo.Eval() // baseline window
+
+	var created CreateCohortResponse
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/cohorts", CreateCohortRequest{
+		Tenant: "acme",
+		Risks:  workload.UniformRisks(4, 0.1),
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/cohorts/"+created.ID+"/pools", nil, nil); code != http.StatusOK {
+		t.Fatalf("pools: status %d", code)
+	}
+	if st := slo.Eval(); !st[0].Breached {
+		t.Fatalf("objective not breached: %+v", st[0])
+	}
+
+	dumps := flight.Anomalies()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d anomaly dumps, want exactly 1", len(dumps))
+	}
+	dump := dumps[0]
+	if dump.ID == "" {
+		t.Fatal("anomaly dump has no ID")
+	}
+
+	// The profiler captures asynchronously off the dump hook; poll the
+	// public /debug/profiles index — served by the API listener itself —
+	// until the bundle stamped with the dump's anomaly ID appears.
+	var bundle *profiler.BundleMeta
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		var idx profiler.IndexDoc
+		if code, _ := doJSON(t, "GET", ts.URL+"/debug/profiles/", nil, &idx); code == http.StatusOK {
+			for i := range idx.Bundles {
+				if idx.Bundles[i].AnomalyID == dump.ID {
+					bundle = &idx.Bundles[i]
+					break
+				}
+			}
+		}
+		if bundle != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if bundle == nil {
+		t.Fatalf("no profile bundle stamped with anomaly %s on /debug/profiles", dump.ID)
+	}
+	if bundle.Class != profiler.ClassAnomaly {
+		t.Errorf("bundle class = %q, want %q", bundle.Class, profiler.ClassAnomaly)
+	}
+	if bundle.Reason != "slo:p99_request" {
+		t.Errorf("bundle reason = %q", bundle.Reason)
+	}
+	if bundle.Tenant != "acme" {
+		t.Errorf("bundle tenant = %q, want the offending tenant", bundle.Tenant)
+	}
+	if bundle.TraceID == 0 {
+		t.Error("bundle carries no trace ID")
+	}
+	if bundle.CPUError != "" {
+		t.Errorf("CPU window failed: %s", bundle.CPUError)
+	}
+
+	// The bundle's trace ID resolves through the tracer to a span tree —
+	// the same pivot the flight dump offers, now reachable from the
+	// profile side too.
+	spans, _ := tracer.Snapshot()
+	var found *obs.Trace
+	for _, tr := range obs.Assemble(spans) {
+		if tr.TraceID == bundle.TraceID {
+			found = tr
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %016x from the bundle not resolvable from the tracer", bundle.TraceID)
+	}
+
+	// Pull the profiles over HTTP like a remote operator would and check
+	// they are real pprof documents.
+	fetch := func(name string) *profiler.Profile {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/profiles/" + bundle.ID + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", name, resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profiler.ParseProfile(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		return p
+	}
+	goro := fetch(profiler.GoroutineProfile)
+	goroTable, err := goro.Table("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goroTable.Total == 0 || len(goroTable.Funcs) == 0 {
+		t.Fatalf("goroutine profile is empty: %+v", goroTable)
+	}
+	fetch(profiler.CPUProfile) // parseable even when the window saw no samples
+
+	// Flame diff, anomaly vs quiet baseline. The diff must be well-formed
+	// on live data, and self-diff must be clean — the stable-exit-code
+	// contract sbgt-profdiff builds on.
+	basep, err := profiler.ParseProfileFile(
+		filepath.Join(prof.Dir(), baseline.ID, profiler.GoroutineProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTable, err := basep.Table("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := profiler.Diff(baseTable, goroTable, profiler.DiffOptions{})
+	if res.SampleType != goroTable.SampleType {
+		t.Errorf("diff sample type = %q, want %q", res.SampleType, goroTable.SampleType)
+	}
+	if self := profiler.Diff(goroTable, goroTable, profiler.DiffOptions{}); self.Regressions != 0 {
+		t.Fatalf("self-diff reports %d regressions, want 0: %+v", self.Regressions, self.Deltas)
 	}
 }
 

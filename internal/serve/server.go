@@ -56,6 +56,11 @@ type ServerConfig struct {
 	// objective turns readiness 503 so the load balancer backs off while
 	// the error budget burns.
 	SLO *obs.SLO
+	// Profiles, when non-nil, serves the continuous profiler's bundle
+	// store on /debug/profiles — the same listener that serves the API,
+	// so one anomaly ID resolves to flight dump and profile bundle from
+	// one address.
+	Profiles http.Handler
 }
 
 // Server is the sbgt-serve HTTP API:
@@ -142,8 +147,11 @@ func NewServer(cfg ServerConfig) *Server {
 		ready = append(ready, cfg.SLO.Ready)
 	}
 	s := &Server{
-		mgr:        cfg.Manager,
-		mux:        obs.NewMux(cfg.Obs, cfg.Tracer, cfg.Flight, ready...),
+		mgr: cfg.Manager,
+		mux: obs.NewMuxConfig(obs.MuxConfig{
+			Reg: cfg.Obs, Tracer: cfg.Tracer, Flight: cfg.Flight,
+			Profiles: cfg.Profiles, Ready: ready,
+		}),
 		log:        obs.OrNop(cfg.Log),
 		tracer:     cfg.Tracer,
 		flight:     cfg.Flight,

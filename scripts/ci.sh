@@ -20,7 +20,7 @@ echo '== go test =='
 go test ./...
 
 echo '== go test -race (concurrency substrate + backend conformance + obs) =='
-go test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core ./internal/obs
+go test -race -short ./internal/engine ./internal/cluster ./internal/bench ./internal/posterior ./internal/core ./internal/obs ./internal/obs/profiler
 
 echo '== fuzz smoke (10s each) =='
 go test ./internal/prob -run FuzzLogSumExp -fuzz FuzzLogSumExp -fuzztime 10s
@@ -34,8 +34,8 @@ echo '== serve smoke (boot sbgt-serve, drive over HTTP, drain on SIGTERM) =='
 ./scripts/serve_smoke.sh
 
 echo '== bench smoke (quick, vs committed baseline, 5x bound) =='
-go run ./cmd/sbgt-bench -exp T1,F6,A5,S1,S1R -quick -baseline BENCH_new.json > /dev/null
-go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_3.json BENCH_new.json
+go run ./cmd/sbgt-bench -exp T1,F6,A5,S1,S1R,S1P -quick -baseline BENCH_new.json > /dev/null
+go run ./cmd/sbgt-benchdiff -ratio 5 BENCH_4.json BENCH_new.json
 
 echo '== sbgt-metriclint (metric naming + cardinality contract over the bench snapshot) =='
 go run ./cmd/sbgt-metriclint BENCH_new.json

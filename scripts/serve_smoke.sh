@@ -3,22 +3,39 @@
 # port, drive a small cohort population to classification over HTTP with
 # the built-in load client (which reconciles every classification against
 # drawn truth and the server's test counters against the client's sent
-# count), walk the API once with curl, scrape the metrics endpoint, then
+# count), walk the API once with curl, scrape the metrics endpoint, run
+# the forensic chain (impossible SLO -> anomaly dump -> profile bundle on
+# /debug/profiles -> sbgt-profdiff against a quiet baseline), then
 # SIGTERM the process and require a clean drain: exit status 0 and the
 # still-open cohort checkpointed to disk.
+#
+# Set SMOKE_OUT to a directory to keep the captured artifacts (logs,
+# metrics, flight dump, profile bundles) after the run — CI uploads them.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 dir=$(mktemp -d)
 pid=
-trap 'status=$?; [ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$dir"; exit $status' EXIT INT TERM
+finish() {
+  status=$?
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  if [ -n "${SMOKE_OUT:-}" ]; then
+    mkdir -p "$SMOKE_OUT"
+    cp -r "$dir"/*.log "$dir"/*.json "$dir"/*.txt "$dir/profiles" "$SMOKE_OUT"/ 2>/dev/null || true
+  fi
+  rm -rf "$dir"
+  exit $status
+}
+trap finish EXIT INT TERM
 
 echo '== build =='
 go build -o "$dir/sbgt-serve" ./cmd/sbgt-serve
 
-echo '== start =='
+echo '== start (continuous profiler on, impossible p99 objective to induce one anomaly) =='
 "$dir/sbgt-serve" -addr 127.0.0.1:0 -addr-file "$dir/addr.txt" -ckpt-dir "$dir/ckpt" \
+  -profile-dir "$dir/profiles" -profile-interval 1s -profile-cpu-window 100ms \
+  -slo-p99 1ns -slo-interval 1s \
   >"$dir/serve.log" 2>&1 &
 pid=$!
 i=0
@@ -30,6 +47,24 @@ while [ ! -s "$dir/addr.txt" ]; do
 done
 base="http://$(cat "$dir/addr.txt")"
 echo "listening at $base"
+
+echo '== quiet profile baseline (first background sample, before any load) =='
+# Wait for the background sampler's first bundle and pull it down now —
+# retention rotates samples away, and the load drive is about to dirty
+# the process. This is the "last known good" side of the flame diff.
+i=0
+quiet=
+while [ -z "$quiet" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo 'no background sample bundle appeared'; cat "$dir/serve.log"; exit 1; }
+  curl -sf "$base/debug/profiles" >"$dir/profindex.json" || true
+  quiet=$(awk -F'"' '/"id":/ {id=$4} /"class": "sample"/ {print id; exit}' "$dir/profindex.json" 2>/dev/null || true)
+  [ -n "$quiet" ] || sleep 0.2
+done
+mkdir -p "$dir/quiet/$quiet"
+curl -sSf "$base/debug/profiles/$quiet" >"$dir/quiet/$quiet/meta.json"
+curl -sSf "$base/debug/profiles/$quiet/cpu.pprof" >"$dir/quiet/$quiet/cpu.pprof"
+echo "quiet baseline bundle: $quiet"
 
 echo '== load drive (25 cohorts to classification, reconciled) =='
 "$dir/sbgt-serve" -loadtest -target "$base" -cohorts 25 -subjects 6 -load-workers 8 \
@@ -57,6 +92,38 @@ grep -q '"kind": "request"' "$dir/flight.json" || { echo 'no request events in /
 # At least one request event must carry a resolvable (nonzero) trace ID.
 grep -q '"trace_id": [1-9]' "$dir/flight.json" || { echo 'no nonzero trace_id in flight events'; exit 1; }
 
+echo '== forensic chain (SLO breach -> anomaly ID -> profile bundle -> flame diff) =='
+# The impossible p99 objective breached during the load drive, so the
+# flight recorder froze a dump and the profiler froze a bundle stamped
+# with the same anomaly ID. Resolve the chain from the outside in.
+i=0
+anom=
+while [ -z "$anom" ]; do
+  i=$((i + 1))
+  [ "$i" -le 150 ] || { echo 'no anomaly profile bundle appeared'; cat "$dir/serve.log"; exit 1; }
+  curl -sf "$base/debug/profiles" >"$dir/profindex.json" || true
+  anom=$(awk -F'"' '/"id":/ {id=$4} /"anomaly_id":/ {print id; exit}' "$dir/profindex.json" 2>/dev/null || true)
+  [ -n "$anom" ] || sleep 0.2
+done
+anom_id=$(awk -F'"' '/"anomaly_id":/ {print $4; exit}' "$dir/profindex.json")
+echo "anomaly $anom_id captured as bundle $anom"
+# The same anomaly ID resolves to a dump on /debug/flight.
+curl -sSf "$base/debug/flight" >"$dir/flight.json"
+grep -q "\"id\": \"$anom_id\"" "$dir/flight.json" || { echo "anomaly $anom_id has no dump in /debug/flight"; exit 1; }
+# Pull the bundle the way a remote operator would and flame-diff it.
+mkdir -p "$dir/anom/$anom"
+curl -sSf "$base/debug/profiles/$anom" >"$dir/anom/$anom/meta.json"
+curl -sSf "$base/debug/profiles/$anom/cpu.pprof" >"$dir/anom/$anom/cpu.pprof"
+go build -o "$dir/sbgt-profdiff" ./cmd/sbgt-profdiff
+# Self-diff is the stable-exit contract: same bundle, exit 0, no noise.
+"$dir/sbgt-profdiff" "$dir/anom/$anom" "$dir/anom/$anom" >/dev/null
+# Quiet-vs-anomaly must parse both bundles and exit 0 (clean) or 1
+# (regressions found) — anything else means an unreadable bundle.
+rc=0
+"$dir/sbgt-profdiff" "$dir/quiet/$quiet" "$dir/anom/$anom" >"$dir/profdiff.txt" || rc=$?
+[ "$rc" -le 1 ] || { echo "sbgt-profdiff could not diff the bundles (exit $rc)"; cat "$dir/profdiff.txt"; exit 1; }
+sed -n '1,8p' "$dir/profdiff.txt"
+
 echo '== OpenMetrics negotiation (exemplar-capable exposition) =='
 curl -sSf -H 'Accept: application/openmetrics-text' "$base/metrics" >"$dir/openmetrics.txt"
 grep -q '^# EOF' "$dir/openmetrics.txt" || { echo 'OpenMetrics exposition missing # EOF'; exit 1; }
@@ -66,6 +133,7 @@ echo '== sbgt-top (one frame against the live server) =='
 go run ./cmd/sbgt-top -target "$base" -once >"$dir/top.txt"
 grep -q 'requests' "$dir/top.txt" || { echo 'sbgt-top rendered nothing'; cat "$dir/top.txt"; exit 1; }
 grep -q 'flight:' "$dir/top.txt" || { echo 'sbgt-top missing flight section'; cat "$dir/top.txt"; exit 1; }
+grep -q 'profiles:' "$dir/top.txt" || { echo 'sbgt-top missing profiles section'; cat "$dir/top.txt"; exit 1; }
 
 echo '== sbgt-metriclint (naming + cardinality over the live registry) =='
 curl -sSf "$base/metrics.json" >"$dir/metrics.json"
